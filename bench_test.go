@@ -1,0 +1,553 @@
+package jrsnd
+
+// Benchmark harness: one benchmark per paper artifact (Table I and every
+// figure of §VI-B), micro-benchmarks for the hot substrate operations, and
+// ablation benches for the design choices called out in DESIGN.md §6.
+//
+// Figure benches run the full n=2000 Monte-Carlo campaign at Runs=1 per
+// iteration (the paper's 100-run averages are produced by cmd/jrsnd-sim);
+// besides wall-clock time they report the headline measured quantity via
+// b.ReportMetric so bench output doubles as a quick reproduction check.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/chips"
+	"repro/internal/codepool"
+	"repro/internal/core"
+	"repro/internal/dsss"
+	"repro/internal/experiment"
+	"repro/internal/field"
+	"repro/internal/ibc"
+	"repro/internal/rs"
+)
+
+func benchSweep(b *testing.B) experiment.SweepConfig {
+	b.Helper()
+	return experiment.SweepConfig{
+		Runs:   1,
+		Seed:   1,
+		Jammer: experiment.JamReactive,
+	}
+}
+
+func reportLast(b *testing.B, fig experiment.Figure, label, unit string) {
+	b.Helper()
+	for _, s := range fig.Series {
+		if s.Label == label && len(s.Y) > 0 {
+			b.ReportMetric(s.Y[len(s.Y)-1], unit)
+			return
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiment.Table1()
+		if len(fig.Series) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig2a(benchSweep(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLast(b, fig, "JR-SND (sim)", "P@m=200")
+	}
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig2b(benchSweep(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLast(b, fig, "JR-SND T̄ = max", "s@m=200")
+	}
+}
+
+func BenchmarkFig3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig3a(benchSweep(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLast(b, fig, "JR-SND (sim)", "P@l=160")
+	}
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig3b(benchSweep(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLast(b, fig, "JR-SND (sim)", "P@n=4000")
+	}
+}
+
+func BenchmarkFig4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig4(benchSweep(b), 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLast(b, fig, "JR-SND (sim)", "P@q=100")
+	}
+}
+
+func BenchmarkFig4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig4(benchSweep(b), 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLast(b, fig, "JR-SND (sim)", "P@q=100")
+	}
+}
+
+func BenchmarkFig5a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig5a(benchSweep(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLast(b, fig, "JR-SND (sim)", "P@nu=8")
+	}
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig5b(benchSweep(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLast(b, fig, "JR-SND T̄ = max", "s@nu=8")
+	}
+}
+
+func BenchmarkDSSSValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.DSSSValidation(1, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkDoSExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.DoSExperiment(1, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+// ablationPoint measures P̂_D with a strong random jammer.
+func ablationPoint(b *testing.B, disableRedundancy bool) float64 {
+	b.Helper()
+	p := analysis.Defaults()
+	p.N = 400
+	p.L = 20
+	p.Q = 40
+	p.Z = 30
+	p.FieldWidth, p.FieldHeight = 2250, 2250
+	m, err := experiment.MeasurePoint(experiment.PointConfig{
+		Params:            p,
+		Jammer:            experiment.JamRandom,
+		Runs:              3,
+		Seed:              1,
+		DisableRedundancy: disableRedundancy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m.PD
+}
+
+func BenchmarkAblationRedundancyOn(b *testing.B) {
+	var pd float64
+	for i := 0; i < b.N; i++ {
+		pd = ablationPoint(b, false)
+	}
+	b.ReportMetric(pd, "P_D")
+}
+
+func BenchmarkAblationRedundancyOff(b *testing.B) {
+	var pd float64
+	for i := 0; i < b.N; i++ {
+		pd = ablationPoint(b, true)
+	}
+	b.ReportMetric(pd, "P_D")
+}
+
+func dosAblation(b *testing.B, gamma int) float64 {
+	b.Helper()
+	p := analysis.Defaults()
+	p.N = 12
+	p.M = 6
+	p.L = 12
+	p.Q = 0
+	p.Gamma = gamma
+	p.FieldWidth, p.FieldHeight = 1000, 1000
+	positions := make([]field.Point, p.N)
+	for i := range positions {
+		positions[i] = field.Point{X: 100 + float64(i%4)*50, Y: 100 + float64(i/4)*50}
+	}
+	net, err := core.NewNetwork(core.NetworkConfig{
+		Params:    p,
+		Seed:      1,
+		Jammer:    core.JamNone,
+		Positions: positions,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Compromise([]int{p.N - 1}); err != nil {
+		b.Fatal(err)
+	}
+	report, err := net.RunDoSAttack(p.N-1, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(report.MACVerifications)
+}
+
+func BenchmarkAblationRevocationOn(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = dosAblation(b, 5)
+	}
+	b.ReportMetric(v, "verifications")
+}
+
+func BenchmarkAblationRevocationOff(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = dosAblation(b, 1<<20)
+	}
+	b.ReportMetric(v, "verifications")
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkCorrelate512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	u := chips.NewRandom(rng, 512)
+	v := chips.NewRandom(rng, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chips.Correlate(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrelateAt512(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	code := chips.NewRandom(rng, 512)
+	buf := make([]int32, 4096)
+	for i := range buf {
+		buf[i] = int32(rng.Intn(3) - 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chips.CorrelateAt(code, buf, i%(len(buf)-512))
+	}
+}
+
+func BenchmarkSpread(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	code := chips.NewRandom(rng, 512)
+	bits := dsss.BytesToBits(make([]byte, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsss.Spread(bits, code); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlidingWindowSync(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	codes := make([]chips.Sequence, 8)
+	for i := range codes {
+		codes[i] = chips.NewRandom(rng, 512)
+	}
+	msg := dsss.BytesToBits([]byte{0xAA, 0x55})
+	sig, err := dsss.Spread(msg, codes[5])
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := dsss.NewChannel(2000 + sig.Len())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch.Add(sig, 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsss.Synchronize(ch.Samples(), codes, 0.15, len(msg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSEncode(b *testing.B) {
+	codec, err := rs.NewCodec(1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 25)
+	rand.New(rand.NewSource(5)).Read(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSDecodeWithErasures(b *testing.B) {
+	codec, err := rs.NewCodec(1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	msg := make([]byte, 25)
+	rng.Read(msg)
+	enc, err := codec.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	erasures := rng.Perm(len(enc))[:len(enc)/3]
+	for _, e := range erasures {
+		enc[e] ^= 0x5A
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decode(enc, len(msg), erasures); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreDistribution2000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := codepool.New(codepool.Config{
+			N: 2000, M: 100, L: 40,
+			Rand: rand.New(rand.NewSource(int64(i))),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSharedCodes(b *testing.B) {
+	pool, err := codepool.New(codepool.Config{
+		N: 2000, M: 100, L: 40, Rand: rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Shared(i%2000, (i+1)%2000)
+	}
+}
+
+func BenchmarkBlomSharedKey(b *testing.B) {
+	auth, err := ibc.NewAuthority(ibc.AuthorityConfig{Rand: rand.New(rand.NewSource(8))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, err := auth.Issue(1, rand.New(rand.NewSource(9)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key.SharedKey(ibc.NodeID(i%60000 + 2))
+	}
+}
+
+func BenchmarkIDSignVerify(b *testing.B) {
+	auth, err := ibc.NewAuthority(ibc.AuthorityConfig{Rand: rand.New(rand.NewSource(10))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, err := auth.Issue(1, rand.New(rand.NewSource(11)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("m-ndp request")
+	sig := key.Sign(msg)
+	root := auth.RootPublicKey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ibc.Verify(root, 1, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionCodeDerivation(b *testing.B) {
+	var key [32]byte
+	key[0] = 7
+	nA := []byte{1, 2, 3}
+	nB := []byte{4, 5, 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ibc.SessionCode(key, nA, nB, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNDPRoundEventSim(b *testing.B) {
+	// Full event-driven D-NDP over a 40-node cluster.
+	p := analysis.Defaults()
+	p.N = 40
+	p.M = 12
+	p.L = 10
+	p.Q = 0
+	p.FieldWidth, p.FieldHeight = 1200, 1200
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := core.NewNetwork(core.NetworkConfig{
+			Params: p,
+			Seed:   int64(i),
+			Jammer: core.JamReactive,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := net.RunDNDP(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineUFHSimulation(b *testing.B) {
+	u := baseline.DefaultUFH()
+	rng := rand.New(rand.NewSource(12))
+	var last float64
+	for i := 0; i < b.N; i++ {
+		last = u.SimulateEstablishment(rng)
+	}
+	b.ReportMetric(last, "s/establishment")
+}
+
+func BenchmarkChipLevelExchange(b *testing.B) {
+	// One complete chip-level frame round trip (transmit + scan + decode)
+	// at the paper's N=512.
+	rng := rand.New(rand.NewSource(13))
+	frame, err := dsss.NewFrame(1.0, 0.15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	code := chips.NewRandom(rng, 512)
+	msg := []byte("HELLO:A")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig, err := frame.Transmit(msg, code)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := dsss.NewChannel(sig.Len() + 600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch.Add(sig, 300)
+		if _, _, _, err := frame.ReceiveScan(ch.Samples(), []chips.Sequence{code}, len(msg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossCheck(b *testing.B) {
+	p := analysis.Defaults()
+	p.N = 150
+	p.L = 15
+	p.Q = 3
+	p.M = 20
+	p.FieldWidth, p.FieldHeight = 1370, 1370
+	var res experiment.CrossCheckResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.CrossCheck(p, 2, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.EventPD, "P_D(event)")
+	b.ReportMetric(res.CampaignPD, "P_D(campaign)")
+}
+
+func BenchmarkRunEpochsMobility(b *testing.B) {
+	p := analysis.Defaults()
+	p.N = 30
+	p.M = 6
+	p.L = 10
+	p.Q = 0
+	p.FieldWidth, p.FieldHeight = 900, 900
+	for i := 0; i < b.N; i++ {
+		deploy, err := field.New(p.FieldWidth, p.FieldHeight)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		positions := deploy.PlaceUniform(rng, p.N)
+		mob, err := field.NewWaypoint(field.WaypointConfig{
+			Field: deploy, MinSpeed: 5, MaxSpeed: 15, Rand: rng,
+		}, positions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net, err := core.NewNetwork(core.NetworkConfig{
+			Params: p, Seed: int64(i), Jammer: core.JamReactive, Positions: positions,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.RunEpochs(core.EpochConfig{
+			Mobility: mob, StepSeconds: 30, Epochs: 2, Window: 1, MNDP: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignSingleRun2000(b *testing.B) {
+	// One full n=2000 campaign run (the unit of every figure point).
+	p := analysis.Defaults()
+	for i := 0; i < b.N; i++ {
+		m, err := experiment.MeasurePoint(experiment.PointConfig{
+			Params: p,
+			Jammer: experiment.JamReactive,
+			Runs:   1,
+			Seed:   int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.PHat < 0 || m.PHat > 1 {
+			b.Fatal("nonsense measurement")
+		}
+	}
+}

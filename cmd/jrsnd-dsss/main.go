@@ -1,0 +1,95 @@
+// Command jrsnd-dsss is a chip-level DSSS inspector: it spreads a message
+// with a pseudorandom code, optionally jams part of the frame with the
+// correct code (the strongest attack) and with a foreign code (which the
+// correlation receiver shrugs off), then shows synchronization and
+// de-spreading step by step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/chips"
+	"repro/internal/dsss"
+)
+
+func main() {
+	var (
+		msg     = flag.String("msg", "HELLO:A", "message to transmit")
+		seed    = flag.Int64("seed", 1, "random seed")
+		jamFrac = flag.Float64("jam", 0.3, "fraction of the frame to jam with the correct code")
+		foreign = flag.Bool("foreign", true, "also superimpose a foreign-code transmission")
+		offset  = flag.Int("offset", 700, "chip offset of the frame in the receive buffer")
+	)
+	flag.Parse()
+	if err := run(*msg, *seed, *jamFrac, *foreign, *offset); err != nil {
+		fmt.Fprintln(os.Stderr, "jrsnd-dsss:", err)
+		os.Exit(1)
+	}
+}
+
+func run(msg string, seed int64, jamFrac float64, foreign bool, offset int) error {
+	if jamFrac < 0 || jamFrac > 1 {
+		return fmt.Errorf("jam fraction %v out of [0,1]", jamFrac)
+	}
+	if offset < 0 {
+		return fmt.Errorf("offset %d must be >= 0", offset)
+	}
+	p := analysis.Defaults()
+	rng := rand.New(rand.NewSource(seed))
+
+	frame, err := dsss.NewFrame(p.Mu, p.Tau)
+	if err != nil {
+		return err
+	}
+	code := chips.NewRandom(rng, p.ChipLen)
+	fmt.Printf("spread code:      N=%d chips, τ=%.2f, μ=%.0f (tolerates %.0f%% jamming)\n",
+		p.ChipLen, p.Tau, p.Mu, 100*p.Mu/(1+p.Mu))
+	fmt.Printf("message:          %q (%d bytes → %d coded bits → %d chips on air)\n",
+		msg, len(msg), frame.EncodedBits(len(msg)), frame.AirtimeChips(len(msg), p.ChipLen))
+
+	signal, err := frame.Transmit([]byte(msg), code)
+	if err != nil {
+		return err
+	}
+	ch, err := dsss.NewChannel(offset + signal.Len() + 2000)
+	if err != nil {
+		return err
+	}
+	ch.Add(signal, offset)
+
+	if foreign {
+		other := chips.NewRandom(rng, p.ChipLen)
+		otherSig, err := frame.Transmit([]byte("NOISE-NEIGHBOR"), other)
+		if err != nil {
+			return err
+		}
+		ch.Add(otherSig, 0)
+		fmt.Println("channel:          + concurrent foreign-code transmission (negligible interference)")
+	}
+	if jamFrac > 0 {
+		// A reactive jammer needs time to identify the code, so it hits
+		// the tail of the frame.
+		jamChips := int(jamFrac * float64(signal.Len()))
+		from := signal.Len() - jamChips
+		ch.AddInverted(signal.Slice(from, signal.Len()), offset+from)
+		fmt.Printf("channel:          + same-code jamming over the trailing %.0f%% of the frame\n", 100*jamFrac)
+	}
+
+	got, _, lockedAt, err := frame.ReceiveScan(ch.Samples(), []chips.Sequence{code}, len(msg))
+	if err != nil {
+		fmt.Printf("de-spread:        FAILED (%v) — jamming above the ECC budget\n", err)
+		return nil
+	}
+	fmt.Printf("synchronization:  frame locked at chip offset %d (expected %d)\n", lockedAt, offset)
+	fmt.Printf("de-spread:        %q\n", got)
+	if string(got) == msg {
+		fmt.Println("result:           message recovered exactly")
+	} else {
+		fmt.Println("result:           CORRUPTED (should not happen within the budget)")
+	}
+	return nil
+}

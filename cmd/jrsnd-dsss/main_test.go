@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunSurvivesSubBudgetJam(t *testing.T) {
+	if err := run("HELLO:A", 1, 0.3, true, 700); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFailsGracefullyAboveBudget(t *testing.T) {
+	// Above the ECC budget run() reports the failure but returns nil (the
+	// outcome is the demonstration).
+	if err := run("HELLO:A", 1, 0.7, false, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("x", 1, -0.1, false, 0); err == nil {
+		t.Fatal("accepted negative jam fraction")
+	}
+	if err := run("x", 1, 1.5, false, 0); err == nil {
+		t.Fatal("accepted jam fraction > 1")
+	}
+	if err := run("x", 1, 0, false, -3); err == nil {
+		t.Fatal("accepted negative offset")
+	}
+}

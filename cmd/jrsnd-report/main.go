@@ -1,0 +1,76 @@
+// Command jrsnd-report runs the complete reproduction — every paper figure
+// plus the validation experiments — checks the paper's qualitative claims
+// against the measurements, and writes a Markdown report.
+//
+// Usage:
+//
+//	jrsnd-report -runs 20 -o report.md
+//	jrsnd-report -runs 100 -seed 7 -n 2000    # paper-fidelity pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		runs = flag.Int("runs", 20, "Monte-Carlo runs per parameter point")
+		seed = flag.Int64("seed", 1, "base random seed")
+		n    = flag.Int("n", 0, "override node count (0 = Table I default)")
+		out  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*runs, *seed, *n, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "jrsnd-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(runs int, seed int64, n int, out string) error {
+	base := analysis.Defaults()
+	if n > 0 {
+		base.N = n
+	}
+	start := time.Now()
+	// Open the output before the (long) evaluation so path errors fail
+	// fast.
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	report, err := experiment.BuildReport(experiment.SweepConfig{
+		Base:   base,
+		Runs:   runs,
+		Seed:   seed,
+		Jammer: experiment.JamReactive,
+	})
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteMarkdown(w, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "report built in %v\n", time.Since(start).Round(time.Second))
+	failed := 0
+	for _, c := range report.Checks {
+		if !c.Pass {
+			failed++
+			fmt.Fprintf(os.Stderr, "CLAIM FAILED [%s]: %s (%s)\n", c.Artifact, c.Claim, c.Detail)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d claim checks failed", failed)
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+// Command jrsnd-sim reproduces the paper's evaluation artifacts: pass an
+// experiment id and it prints the measured series next to the theoretical
+// curves. Available ids: table1, fig2a, fig2b, fig3a, fig3b, fig4a, fig4b,
+// fig5a, fig5b, dsss, dos, ext-antennas, ext-gold, ext-adaptive-nu,
+// baseline-q, baseline-latency, baseline-dos, or "all".
+//
+// Usage:
+//
+//	jrsnd-sim -exp fig4a -runs 100 -seed 1
+//	jrsnd-sim -exp all -runs 20 -csv out/   # quicker full pass + CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table1, fig2a..fig5b, dsss, dos, all)")
+		runs    = flag.Int("runs", 100, "Monte-Carlo runs per parameter point")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		jammer  = flag.String("jammer", "reactive", "jammer model: none, random, reactive")
+		iterate = flag.Bool("iterate-mndp", false, "close the logical graph under repeated M-NDP rounds")
+		n       = flag.Int("n", 0, "override node count (0 = Table I default)")
+		csvDir  = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+		point   = flag.Bool("point", false, "instead of a figure, measure a single point at the (possibly overridden) parameters and print it with 95% confidence intervals")
+		q       = flag.Int("q", -1, "override compromised-node count (with -point)")
+		list    = flag.Bool("list", false, "list the available experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range experimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *point {
+		if err := runPoint(*runs, *seed, *jammer, *n, *q); err != nil {
+			fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*exp, *runs, *seed, *jammer, *iterate, *n, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, runs int, seed int64, jammer string, iterate bool, n int, csvDir string) error {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	var jm experiment.JammerModel
+	switch jammer {
+	case "none":
+		jm = experiment.JamNone
+	case "random":
+		jm = experiment.JamRandom
+	case "reactive":
+		jm = experiment.JamReactive
+	default:
+		return fmt.Errorf("unknown jammer %q", jammer)
+	}
+	base := analysis.Defaults()
+	if n > 0 {
+		base.N = n
+	}
+	cfg := experiment.SweepConfig{
+		Base:        base,
+		Runs:        runs,
+		Seed:        seed,
+		Jammer:      jm,
+		IterateMNDP: iterate,
+	}
+
+	runners := []runner{
+		{"table1", func() (experiment.Figure, error) { return experiment.Table1(), nil }},
+		{"fig2a", func() (experiment.Figure, error) { return experiment.Fig2a(cfg) }},
+		{"fig2b", func() (experiment.Figure, error) { return experiment.Fig2b(cfg) }},
+		{"fig3a", func() (experiment.Figure, error) { return experiment.Fig3a(cfg) }},
+		{"fig3b", func() (experiment.Figure, error) { return experiment.Fig3b(cfg) }},
+		{"fig4a", func() (experiment.Figure, error) { return experiment.Fig4(cfg, 40) }},
+		{"fig4b", func() (experiment.Figure, error) { return experiment.Fig4(cfg, 20) }},
+		{"fig5a", func() (experiment.Figure, error) { return experiment.Fig5a(cfg) }},
+		{"fig5b", func() (experiment.Figure, error) { return experiment.Fig5b(cfg) }},
+		{"dsss", func() (experiment.Figure, error) { return experiment.DSSSValidation(seed, max(runs, 10)) }},
+		{"dos", func() (experiment.Figure, error) { return experiment.DoSExperiment(seed, 20) }},
+		{"ext-antennas", func() (experiment.Figure, error) { return experiment.ExtAntennas(base) }},
+		{"ext-gold", func() (experiment.Figure, error) { return experiment.GoldComparison(seed, 64, 5000) }},
+		{"ext-z", func() (experiment.Figure, error) { return experiment.ExtZ(cfg) }},
+		{"ext-noise", func() (experiment.Figure, error) { return experiment.InterferenceValidation(seed, max(runs, 10)) }},
+		{"ext-predistribution", func() (experiment.Figure, error) { return experiment.PredistributionComparison(base, seed) }},
+		{"ext-crosscheck", func() (experiment.Figure, error) {
+			return experiment.CrossCheckFigure(analysis.Params{}, max(runs/4, 3), seed)
+		}},
+		{"ext-adaptive-nu", func() (experiment.Figure, error) {
+			return experiment.ExtAdaptiveNu(cfg, nil, 8)
+		}},
+		{"baseline-q", func() (experiment.Figure, error) { return experiment.BaselineQ(cfg) }},
+		{"baseline-latency", func() (experiment.Figure, error) {
+			return experiment.BaselineLatency(base, seed, max(runs*10, 100))
+		}},
+		{"baseline-dos", func() (experiment.Figure, error) { return experiment.BaselineDoS(base) }},
+	}
+	if ids := experimentIDs(); len(ids) != len(runners) {
+		return fmt.Errorf("internal: experiment id list out of sync (%d vs %d)", len(ids), len(runners))
+	}
+	matched := false
+	for _, r := range runners {
+		if exp != "all" && exp != r.id {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		fig, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		if err := experiment.Print(os.Stdout, fig); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			f, err := os.Create(filepath.Join(csvDir, r.id+".csv"))
+			if err != nil {
+				return err
+			}
+			werr := experiment.WriteCSV(f, fig)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+		}
+		fmt.Printf("  (%s computed in %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// runner pairs an experiment id with its producer.
+type runner struct {
+	id string
+	fn func() (experiment.Figure, error)
+}
+
+// experimentIDs lists every supported -exp id, in run order. A consistency
+// check in run() keeps it in sync with the runner table.
+func experimentIDs() []string {
+	return []string{
+		"table1",
+		"fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b",
+		"dsss", "dos",
+		"ext-antennas", "ext-gold", "ext-z", "ext-noise",
+		"ext-predistribution", "ext-crosscheck", "ext-adaptive-nu",
+		"baseline-q", "baseline-latency", "baseline-dos",
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func runPoint(runs int, seed int64, jammer string, n, q int) error {
+	var jm experiment.JammerModel
+	switch jammer {
+	case "none":
+		jm = experiment.JamNone
+	case "random":
+		jm = experiment.JamRandom
+	case "reactive":
+		jm = experiment.JamReactive
+	default:
+		return fmt.Errorf("unknown jammer %q", jammer)
+	}
+	p := analysis.Defaults()
+	if n > 0 {
+		p.N = n
+	}
+	if q >= 0 {
+		p.Q = q
+	}
+	m, err := experiment.MeasurePoint(experiment.PointConfig{
+		Params: p,
+		Jammer: jm,
+		Runs:   runs,
+		Seed:   seed,
+	})
+	if err != nil {
+		return err
+	}
+	lower, upper := analysis.DNDPBounds(p)
+	fmt.Printf("point measurement: n=%d m=%d l=%d q=%d ν=%d, %s jamming, %d runs\n\n",
+		p.N, p.M, p.L, p.Q, p.Nu, jm, runs)
+	fmt.Printf("  P̂_D    = %.4f ± %.4f   (Theorem 1: [%.4f, %.4f])\n", m.PD, m.PDCI, lower, upper)
+	fmt.Printf("  P̂_M    = %.4f ± %.4f\n", m.PM, m.PMCI)
+	fmt.Printf("  P̂      = %.4f ± %.4f\n", m.PHat, m.PHatCI)
+	fmt.Printf("  T̄_D    = %.4f s         (Theorem 2: %.4f s; P50 %.4f, P95 %.4f)\n",
+		m.TD, analysis.DNDPLatency(p), m.TD50, m.TD95)
+	fmt.Printf("  T̄_M    = %.4f s\n", m.TM)
+	fmt.Printf("  T̄      = %.4f s\n", m.TBar)
+	fmt.Printf("  g      = %.2f physical neighbors, %.0f edges/run, %.0f compromised codes\n",
+		m.AvgDegree, m.Edges, m.CompromisedCodes)
+	return nil
+}

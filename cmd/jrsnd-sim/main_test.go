@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", 1, 1, "reactive", false, 0, ""); err == nil {
+		t.Fatal("accepted unknown experiment id")
+	}
+}
+
+func TestRunUnknownJammer(t *testing.T) {
+	if err := run("table1", 1, 1, "bogus", false, 0, ""); err == nil {
+		t.Fatal("accepted unknown jammer")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if err := run("table1", 1, 1, "reactive", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentIDsInSync(t *testing.T) {
+	// run() cross-checks the id list against the runner table; invoking
+	// any single experiment exercises that check.
+	ids := experimentIDs()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiment ids", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRunQuickFigureWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	// A reduced deployment keeps the sweep quick.
+	if err := run("ext-antennas", 1, 1, "reactive", false, 0, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ext-antennas.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV written")
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	if err := run("baseline-dos", 1, 1, "reactive", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("baseline-latency", 2, 1, "reactive", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ext-gold", 1, 1, "reactive", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	if err := runPoint(2, 1, "reactive", 300, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPoint(1, 1, "bogus", 0, -1); err == nil {
+		t.Fatal("accepted unknown jammer")
+	}
+}

@@ -1,0 +1,102 @@
+// Command jrsnd-theory prints the closed-form performance model of §VI-A:
+// the derived protocol constants, the Theorem 1 discovery-probability
+// bounds as functions of q, the Theorem 2/4 latencies as functions of m
+// and ν, and the combined JR-SND predictions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		n  = flag.Int("n", 0, "override node count")
+		m  = flag.Int("m", 0, "override codes per node")
+		l  = flag.Int("l", 0, "override sharers per code")
+		q  = flag.Int("q", -1, "override compromised nodes")
+		nu = flag.Int("nu", 0, "override M-NDP hop bound")
+	)
+	flag.Parse()
+	p := analysis.Defaults()
+	if *n > 0 {
+		p.N = *n
+	}
+	if *m > 0 {
+		p.M = *m
+	}
+	if *l > 0 {
+		p.L = *l
+	}
+	if *q >= 0 {
+		p.Q = *q
+	}
+	if *nu > 0 {
+		p.Nu = *nu
+	}
+	if err := run(p); err != nil {
+		fmt.Fprintln(os.Stderr, "jrsnd-theory:", err)
+		os.Exit(1)
+	}
+}
+
+func run(p analysis.Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("JR-SND theory model (n=%d m=%d l=%d q=%d ν=%d z=%d)\n\n",
+		p.N, p.M, p.L, p.Q, p.Nu, p.Z)
+
+	fmt.Println("Derived constants (§V-B):")
+	fmt.Printf("  pool size s           = %d\n", p.S())
+	fmt.Printf("  l_h (coded HELLO)     = %.0f bits\n", p.HelloBits())
+	fmt.Printf("  l_f (coded auth msg)  = %.0f bits\n", p.AuthBits())
+	fmt.Printf("  t_h (HELLO airtime)   = %.6f s\n", p.THello())
+	fmt.Printf("  t_b (buffer window)   = %.4f s\n", p.TBuffer())
+	fmt.Printf("  λ   (t_p/t_b)         = %.2f\n", p.Lambda())
+	fmt.Printf("  t_p (processing)      = %.4f s\n", p.TProcess())
+	fmt.Printf("  r   (HELLO rounds)    = %d\n", p.HelloRounds())
+	fmt.Printf("  g   (avg degree)      = %.2f\n\n", p.AvgDegree())
+
+	fmt.Println("Code pre-distribution (Eqs. 1-2):")
+	fmt.Printf("  Pr[share >= 1 code]   = %.4f\n", 1-analysis.PrShared(p, 0))
+	mean := 0.0
+	for x := 0; x <= p.M; x++ {
+		mean += float64(x) * analysis.PrShared(p, x)
+	}
+	fmt.Printf("  E[shared codes]       = %.3f\n", mean)
+	fmt.Printf("  α (code compromised)  = %.4f\n", analysis.Alpha(p))
+	fmt.Printf("  E[compromised codes]  = %.1f\n\n", analysis.ExpectedCompromisedCodes(p))
+
+	lower, upper := analysis.DNDPBounds(p)
+	fmt.Println("D-NDP (Theorems 1-2):")
+	fmt.Printf("  P̂−  (reactive jam)    = %.4f\n", lower)
+	fmt.Printf("  P̂+  (random jam)      = %.4f\n", upper)
+	fmt.Printf("  T̄_D                   = %.4f s\n\n", analysis.DNDPLatency(p))
+
+	g := p.AvgDegree()
+	pm := analysis.MNDPLowerBound(lower, g)
+	fmt.Println("M-NDP (Theorems 3-4, ν as configured):")
+	fmt.Printf("  P̂_M lower bound (ν=2) = %.4f\n", pm)
+	fmt.Printf("  T̄_M(ν=%d)              = %.4f s\n\n", p.Nu, analysis.MNDPLatency(p, p.Nu, g))
+
+	pHat, tBar := analysis.Combined(p)
+	fmt.Println("JR-SND combined:")
+	fmt.Printf("  P̂ = P̂_D + (1−P̂_D)·P̂_M = %.4f\n", pHat)
+	fmt.Printf("  T̄ = max(T̄_D, T̄_M)     = %.4f s\n\n", tBar)
+
+	fmt.Println("Sweep of q (reactive jamming):")
+	fmt.Println("  q     α       P̂_D     P̂_M     P̂")
+	for _, q := range []int{0, 20, 40, 60, 80, 100} {
+		pq := p
+		pq.Q = q
+		lo, _ := analysis.DNDPBounds(pq)
+		pmq := analysis.MNDPLowerBound(lo, g)
+		fmt.Printf("  %-4d  %.4f  %.4f  %.4f  %.4f\n",
+			q, analysis.AlphaQ(pq, q), lo, pmq, lo+(1-lo)*pmq)
+	}
+	return nil
+}

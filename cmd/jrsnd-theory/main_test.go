@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(analysis.Defaults()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsInvalidParams(t *testing.T) {
+	p := analysis.Defaults()
+	p.M = 0
+	if err := run(p); err == nil {
+		t.Fatal("accepted invalid params")
+	}
+}
+
+func TestRunStressedPoint(t *testing.T) {
+	p := analysis.Defaults()
+	p.Q = 100
+	p.Nu = 6
+	if err := run(p); err != nil {
+		t.Fatal(err)
+	}
+}

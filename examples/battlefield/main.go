@@ -1,0 +1,95 @@
+// Battlefield: the deployment the paper's introduction motivates — a
+// single-authority military MANET of platoons moving through a hostile
+// area under reactive jamming. Nodes periodically re-run neighbor
+// discovery as mobility creates new encounters; the example reports, per
+// epoch, how many of the current physical links are secured (discovered
+// and mutually authenticated).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	jrsnd "repro"
+	"repro/internal/field"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "battlefield:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	params := jrsnd.DefaultParams()
+	params.N = 120 // 6 platoons of 20
+	params.M = 8
+	params.L = 12
+	params.Q = 10
+	params.Nu = 3
+	params.FieldWidth, params.FieldHeight = 3000, 3000
+	params.Range = 300
+
+	deploy, err := field.New(params.FieldWidth, params.FieldHeight)
+	if err != nil {
+		return err
+	}
+	layoutRng := rand.New(rand.NewSource(7))
+	positions, err := scenario.Platoons(deploy, 6, 20, 180, layoutRng)
+	if err != nil {
+		return err
+	}
+
+	net, err := jrsnd.New(jrsnd.NetworkConfig{
+		Params:    params,
+		Seed:      7,
+		Jammer:    jrsnd.JamReactive,
+		Positions: positions,
+		GPSFilter: true, // eliminate M-NDP false positives (§V-C)
+	})
+	if err != nil {
+		return err
+	}
+	compromised, err := net.CompromiseRandom(params.Q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("battlefield: 6 platoons × 20 soldiers on %0.fx%.0f m², jammer holds %d/%d codes (nodes %v captured)\n\n",
+		params.FieldWidth, params.FieldHeight, net.CompromisedCodes(), net.Pool().S(), compromised)
+
+	// Soldiers move at 1-3 m/s with short pauses (random waypoint).
+	mob, err := field.NewWaypoint(field.WaypointConfig{
+		Field:    deploy,
+		MinSpeed: 1,
+		MaxSpeed: 3,
+		Pause:    5,
+		Rand:     rand.New(rand.NewSource(99)),
+	}, positions)
+	if err != nil {
+		return err
+	}
+
+	// The epoch loop: step mobility one minute, expire monitor-timed-out
+	// sessions (§IV-A), re-run both discovery protocols.
+	stats, err := net.RunEpochs(jrsnd.EpochConfig{
+		Mobility:    mob,
+		StepSeconds: 60,
+		Epochs:      5,
+		Window:      1,
+		MNDP:        true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("epoch  physical-links  secured  coverage  expired  new-this-epoch")
+	for _, s := range stats {
+		fmt.Printf("%-5d  %-14d  %-7d  %6.1f%%  %-7d  %d\n",
+			s.Epoch, s.PhysicalLinks, s.SecuredLinks, 100*s.Coverage(), s.Expired, s.NewDiscoveries)
+	}
+
+	fmt.Println("\nmobility keeps creating encounters; every epoch's re-run secures the new links.")
+	return nil
+}

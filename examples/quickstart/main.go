@@ -1,0 +1,91 @@
+// Quickstart: a 40-node MANET under reactive jamming with two compromised
+// nodes. Runs one D-NDP round and one M-NDP round, then compares the
+// measured discovery rate with the paper's theory (Theorems 1 and 3).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	jrsnd "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	params := jrsnd.DefaultParams()
+	params.N = 40 // nodes
+	params.M = 12 // codes per node
+	params.L = 10 // nodes sharing each code
+	params.Q = 2  // compromised nodes
+	params.Nu = 2 // M-NDP hop bound
+	params.FieldWidth, params.FieldHeight = 1200, 1200
+	params.Range = 300
+
+	net, err := jrsnd.New(jrsnd.NetworkConfig{
+		Params: params,
+		Seed:   42,
+		Jammer: jrsnd.JamReactive,
+	})
+	if err != nil {
+		return err
+	}
+	compromised, err := net.CompromiseRandom(params.Q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployment: %d nodes, %d physical links, avg degree %.1f\n",
+		net.NumNodes(), net.PhysicalGraph().NumEdges(), net.PhysicalGraph().AvgDegree())
+	fmt.Printf("adversary:  compromised nodes %v → %d of %d pool codes known to the jammer\n\n",
+		compromised, net.CompromisedCodes(), net.Pool().S())
+
+	if err := net.RunDNDP(1); err != nil {
+		return err
+	}
+	dndp := len(net.Discoveries())
+	fmt.Printf("after D-NDP: %d pairs mutually discovered and authenticated\n", dndp)
+
+	if err := net.RunMNDP(1); err != nil {
+		return err
+	}
+	all := net.Discoveries()
+	fmt.Printf("after M-NDP: %d pairs total (%d added via multi-hop)\n\n", len(all), len(all)-dndp)
+
+	// Count discoverable links: physical edges between honest nodes.
+	honest := map[int]bool{}
+	for _, c := range compromised {
+		honest[c] = true
+	}
+	edges := 0
+	discovered := 0
+	g := net.PhysicalGraph()
+	for u := 0; u < net.NumNodes(); u++ {
+		if honest[u] {
+			continue
+		}
+		for _, v := range g.Adj[u] {
+			if v <= u || honest[v] {
+				continue
+			}
+			edges++
+			if net.DiscoveredPair(u, v) {
+				discovered++
+			}
+		}
+	}
+	measured := float64(discovered) / float64(edges)
+	lower, upper := jrsnd.DNDPBounds(params)
+	fmt.Printf("discovery probability over honest physical links: %.3f (%d/%d)\n", measured, discovered, edges)
+	fmt.Printf("theory: D-NDP alone in [%.3f, %.3f]; with M-NDP the paper predicts near-1\n", lower, upper)
+
+	fmt.Println("\nsample neighbor table (node 0):")
+	for _, nb := range net.Node(0).Neighbors() {
+		fmt.Printf("  peer %-4d via %-6s at t=%.3fs\n", nb.ID, nb.Via, float64(nb.DiscoveredAt))
+	}
+	return nil
+}

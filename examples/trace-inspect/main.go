@@ -1,0 +1,90 @@
+// Trace inspection: record every protocol event of a small discovery run
+// — transmissions with their spread codes, jam verdicts, discoveries,
+// revocations — and print the timeline. Useful for understanding the
+// four-message D-NDP dance and exactly which copies the jammer kills.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	jrsnd "repro"
+	"repro/internal/field"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rec, err := jrsnd.NewTraceRecorder(10000)
+	if err != nil {
+		return err
+	}
+	params := jrsnd.DefaultParams()
+	params.N = 4
+	params.M = 4
+	params.L = 4 // everyone shares every code
+	params.Q = 0
+	params.FieldWidth, params.FieldHeight = 500, 500
+
+	net, err := jrsnd.New(jrsnd.NetworkConfig{
+		Params: params,
+		Seed:   9,
+		Jammer: jrsnd.JamReactive,
+		Trace:  rec,
+		Positions: []field.Point{
+			{X: 100, Y: 100}, {X: 200, Y: 100}, {X: 150, Y: 200}, {X: 200, Y: 200},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	// Capturing node 3 hands its whole code set (the whole pool, l = n)
+	// to the jammer, so every pool-code transmission gets jammed — watch
+	// the timeline show it.
+	if err := net.Compromise([]int{3}); err != nil {
+		return err
+	}
+	if err := net.RunDNDP(1); err != nil {
+		return err
+	}
+	fmt.Println("--- full-compromise run: every HELLO jammed, no discoveries ---")
+	if err := rec.Dump(os.Stdout); err != nil {
+		return err
+	}
+
+	// Fresh run without compromise: the full four-message exchange.
+	rec2, err := jrsnd.NewTraceRecorder(10000)
+	if err != nil {
+		return err
+	}
+	params.N = 2
+	params.L = 2
+	net2, err := jrsnd.New(jrsnd.NetworkConfig{
+		Params: params,
+		Seed:   10,
+		Jammer: jrsnd.JamReactive,
+		Trace:  rec2,
+		Positions: []field.Point{
+			{X: 100, Y: 100}, {X: 250, Y: 100},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := net2.RunDNDP(1); err != nil {
+		return err
+	}
+	fmt.Println("\n--- clean two-node run: HELLO → CONFIRM → AUTH1 → AUTH2 → discovery ---")
+	if err := rec2.Dump(os.Stdout); err != nil {
+		return err
+	}
+	counts := rec2.Counts()
+	fmt.Printf("\nevent counts: %d tx, %d discoveries\n",
+		counts[1 /* KindTx */], counts[4 /* KindDiscovery */])
+	return nil
+}

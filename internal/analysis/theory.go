@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"math"
+)
+
+// PrShared returns Pr[x] from Eq. (1): the probability that two given
+// nodes share exactly x spread codes after the m-round pre-distribution,
+// Binomial(m, (l-1)/(n-1)).
+func PrShared(p Params, x int) float64 {
+	if x < 0 || x > p.M {
+		return 0
+	}
+	pr := float64(p.L-1) / float64(p.N-1)
+	return binomialPMF(p.M, x, pr)
+}
+
+// Alpha returns α from Eq. (2): the probability that any given pool code is
+// compromised when q random nodes are compromised,
+// α = 1 − C(n−l, q)/C(n, q).
+func Alpha(p Params) float64 {
+	return AlphaQ(p, p.Q)
+}
+
+// AlphaQ is Alpha for an explicit q.
+func AlphaQ(p Params, q int) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q > p.N-p.L {
+		return 1
+	}
+	// C(n−l, q)/C(n, q) = Π_{i=0}^{q−1} (n−l−i)/(n−i), computed in log
+	// space for stability.
+	logRatio := 0.0
+	for i := 0; i < q; i++ {
+		logRatio += math.Log(float64(p.N-p.L-i)) - math.Log(float64(p.N-i))
+	}
+	return 1 - math.Exp(logRatio)
+}
+
+// ExpectedCompromisedCodes returns c = s·α, the expected number of pool
+// codes the adversary holds.
+func ExpectedCompromisedCodes(p Params) float64 {
+	return float64(p.S()) * Alpha(p)
+}
+
+// JamBeta returns (β, β′) from Theorem 1: the probabilities that a random
+// jammer hits the HELLO transmission's code (β) and at least one of the
+// three follow-up messages (β′), given c expected compromised codes.
+func JamBeta(p Params, c float64) (beta, betaPrime float64) {
+	if c <= 0 {
+		return 0, 0
+	}
+	tries := float64(p.Z) * (1 + p.Mu) / p.Mu
+	beta = math.Min(tries/c, 1)
+	betaPrime = math.Min(3*tries/c, 1)
+	return beta, betaPrime
+}
+
+// DNDPBounds returns (P̂−, P̂+) from Theorem 1: the D-NDP discovery
+// probability under reactive jamming (lower bound) and random jamming
+// (upper bound).
+func DNDPBounds(p Params) (lower, upper float64) {
+	alpha := Alpha(p)
+	c := float64(p.S()) * alpha
+	beta, betaPrime := JamBeta(p, c)
+	jam := beta + betaPrime - beta*betaPrime
+
+	// P̂− = 1 − Σ_x Pr[x]·α^x  = 1 − (1 − p·(1−α))^m  (binomial identity).
+	// P̂+ = 1 − Σ_x Pr[x]·(α·jam)^x = 1 − (1 − p·(1−α·jam))^m.
+	pShare := float64(p.L-1) / float64(p.N-1)
+	lower = 1 - math.Pow(1-pShare*(1-alpha), float64(p.M))
+	upper = 1 - math.Pow(1-pShare*(1-alpha*jam), float64(p.M))
+	return lower, upper
+}
+
+// DNDPReactive returns P̂− (the reactive-jamming D-NDP probability), the
+// worst case the paper's figures plot.
+func DNDPReactive(p Params) float64 {
+	lower, _ := DNDPBounds(p)
+	return lower
+}
+
+// DNDPLatency returns T̄_D from Theorem 2 (Eq. 3):
+// T̄_D ≈ ρ·m(3m+4)·N²·l_h/2 + 2N·l_f/R + 2t_key.
+func DNDPLatency(p Params) float64 {
+	n2 := float64(p.ChipLen) * float64(p.ChipLen)
+	identify := p.Rho * float64(p.M) * float64(3*p.M+4) * n2 * p.HelloBits() / 2
+	authTx := 2 * float64(p.ChipLen) * p.AuthBits() / p.ChipRate
+	return identify + authTx + 2*p.TKey
+}
+
+// OverlapFactor returns (1 − 3√3/(4π)), the expected fraction of a node's
+// neighborhood that also neighbors an adjacent node (Theorem 3).
+func OverlapFactor() float64 {
+	return 1 - 3*math.Sqrt(3)/(4*math.Pi)
+}
+
+// MNDPLowerBound returns the Theorem 3 bound for ν = 2:
+// P̂_M ≥ 1 − (1 − P̂_D²)^{g·(1−3√3/4π) − 1},
+// where g is the average physical degree.
+func MNDPLowerBound(pd, g float64) float64 {
+	exp := g*OverlapFactor() - 1
+	if exp < 0 {
+		exp = 0
+	}
+	return 1 - math.Pow(1-pd*pd, exp)
+}
+
+// MNDPLatency returns T̄_M from Theorem 4 for a ν-hop path:
+// T̄_M = T_ν + 2ν(ν+1)·t_ver + 2ν·t_sig with
+// T_ν = (N/R)·(3ν(ν+1)/2·((g+1)l_id + 2l_sig) + 2ν(l_n + l_ν)).
+func MNDPLatency(p Params, nu int, g float64) float64 {
+	nuF := float64(nu)
+	tnu := float64(p.ChipLen) / p.ChipRate *
+		(3*nuF*(nuF+1)/2*((g+1)*float64(p.LenID)+2*float64(p.LenSig)) +
+			2*nuF*float64(p.LenNonce+p.LenNu))
+	return tnu + 2*nuF*(nuF+1)*p.TVer + 2*nuF*p.TSig
+}
+
+// Combined returns the JR-SND totals: P̂ = P̂_D + (1−P̂_D)·P̂_M and
+// T̄ = max(T̄_D, T̄_M), using the reactive (worst-case) P̂_D and the
+// Theorem 3 bound for P̂_M.
+func Combined(p Params) (pHat, tBar float64) {
+	pd := DNDPReactive(p)
+	g := p.AvgDegree()
+	pm := MNDPLowerBound(pd, g)
+	pHat = pd + (1-pd)*pm
+	tBar = math.Max(DNDPLatency(p), MNDPLatency(p, p.Nu, g))
+	return pHat, tBar
+}
+
+// binomialPMF returns C(n,k)·p^k·(1−p)^(n−k), computed in log space.
+func binomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+func logChoose(n, k int) float64 {
+	lgN, _ := math.Lgamma(float64(n + 1))
+	lgK, _ := math.Lgamma(float64(k + 1))
+	lgNK, _ := math.Lgamma(float64(n - k + 1))
+	return lgN - lgK - lgNK
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultsValidate(t *testing.T) {
+	if err := Defaults().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.N = 1 },
+		func(p *Params) { p.M = 0 },
+		func(p *Params) { p.L = 1 },
+		func(p *Params) { p.L = p.N + 1 },
+		func(p *Params) { p.Q = -1 },
+		func(p *Params) { p.ChipLen = 0 },
+		func(p *Params) { p.ChipRate = 0 },
+		func(p *Params) { p.Rho = 0 },
+		func(p *Params) { p.Mu = 0 },
+		func(p *Params) { p.Nu = 0 },
+		func(p *Params) { p.Z = -1 },
+		func(p *Params) { p.LenID = 0 },
+		func(p *Params) { p.Range = 0 },
+	}
+	for i, mutate := range mutations {
+		p := Defaults()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught by Validate", i)
+		}
+	}
+}
+
+func TestDerivedQuantitiesMatchPaperExamples(t *testing.T) {
+	p := Defaults()
+	// §V-B: "if N = 512, m = 1000, and R = 22 Mbps, we have λ ≈ 94" with
+	// ρ ≈ 8.3e-12.
+	ex := p
+	ex.M = 1000
+	ex.Rho = 8.3e-12
+	if lambda := ex.Lambda(); math.Abs(lambda-93.5) > 1 {
+		t.Errorf("λ = %v, want ≈ 94 (paper §V-B example)", lambda)
+	}
+	// Table I defaults: s = (2000/40)·100 = 5000.
+	if p.S() != 5000 {
+		t.Errorf("s = %d, want 5000", p.S())
+	}
+	// l_h = 2·21 = 42 bits, l_f = 2·196 = 392 bits.
+	if lh := p.HelloBits(); lh != 42 {
+		t.Errorf("l_h = %v, want 42", lh)
+	}
+	if lf := p.AuthBits(); lf != 392 {
+		t.Errorf("l_f = %v, want 392", lf)
+	}
+	// g ≈ 22.6 physical neighbors.
+	if g := p.AvgDegree(); math.Abs(g-22.6) > 0.1 {
+		t.Errorf("g = %v, want ≈ 22.6", g)
+	}
+	// λ = ρNmR = 1e-11·512·100·22e6 ≈ 11.3.
+	if lambda := p.Lambda(); math.Abs(lambda-11.264) > 0.01 {
+		t.Errorf("λ = %v, want ≈ 11.26", lambda)
+	}
+	if r := p.HelloRounds(); r != 13 {
+		t.Errorf("r = %d, want ⌈(λ+1)(m+1)/m⌉ = 13", r)
+	}
+}
+
+func TestPrSharedIsDistribution(t *testing.T) {
+	p := Defaults()
+	var sum, mean float64
+	for x := 0; x <= p.M; x++ {
+		pr := PrShared(p, x)
+		if pr < 0 || pr > 1 {
+			t.Fatalf("Pr[%d] = %v out of range", x, pr)
+		}
+		sum += pr
+		mean += float64(x) * pr
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Σ Pr[x] = %v, want 1", sum)
+	}
+	want := float64(p.M) * float64(p.L-1) / float64(p.N-1)
+	if math.Abs(mean-want) > 1e-9 {
+		t.Fatalf("E[x] = %v, want %v", mean, want)
+	}
+	if PrShared(p, -1) != 0 || PrShared(p, p.M+1) != 0 {
+		t.Fatal("out-of-support Pr[x] must be 0")
+	}
+}
+
+func TestAlphaBoundsAndMonotonicity(t *testing.T) {
+	p := Defaults()
+	if a := AlphaQ(p, 0); a != 0 {
+		t.Fatalf("α(q=0) = %v, want 0", a)
+	}
+	prev := 0.0
+	for q := 1; q <= 200; q += 10 {
+		a := AlphaQ(p, q)
+		if a < prev || a > 1 {
+			t.Fatalf("α(q=%d) = %v not monotone in [0,1]", q, a)
+		}
+		prev = a
+	}
+	if a := AlphaQ(p, p.N); a != 1 {
+		t.Fatalf("α(q=n) = %v, want 1", a)
+	}
+	// Closed-form spot check: α ≈ 1 − ((n−l)/n)^q for small q/n.
+	got := AlphaQ(p, 20)
+	approx := 1 - math.Exp(20*(math.Log(float64(p.N-p.L))-math.Log(float64(p.N))))
+	if math.Abs(got-approx) > 0.01 {
+		t.Fatalf("α(20) = %v, approx %v", got, approx)
+	}
+}
+
+func TestJamBeta(t *testing.T) {
+	p := Defaults() // z=10, μ=1 → tries = 20
+	beta, betaPrime := JamBeta(p, 100)
+	if math.Abs(beta-0.2) > 1e-12 || math.Abs(betaPrime-0.6) > 1e-12 {
+		t.Fatalf("JamBeta = %v,%v, want 0.2, 0.6", beta, betaPrime)
+	}
+	// Saturation at 1.
+	beta, betaPrime = JamBeta(p, 10)
+	if beta != 1 || betaPrime != 1 {
+		t.Fatalf("JamBeta small c = %v,%v, want 1,1", beta, betaPrime)
+	}
+	if b, bp := JamBeta(p, 0); b != 0 || bp != 0 {
+		t.Fatalf("JamBeta(c=0) = %v,%v, want 0,0", b, bp)
+	}
+}
+
+func TestDNDPBoundsOrderingAndLimits(t *testing.T) {
+	p := Defaults()
+	lower, upper := DNDPBounds(p)
+	if lower < 0 || upper > 1 || lower > upper {
+		t.Fatalf("bounds (%v, %v) violate 0 <= P̂− <= P̂+ <= 1", lower, upper)
+	}
+	// No compromise → both equal 1 − Pr[no shared code].
+	clean := p
+	clean.Q = 0
+	lo, up := DNDPBounds(clean)
+	pShare := float64(p.L-1) / float64(p.N-1)
+	want := 1 - math.Pow(1-pShare, float64(p.M))
+	if math.Abs(lo-want) > 1e-9 || math.Abs(up-want) > 1e-9 {
+		t.Fatalf("q=0 bounds (%v, %v), want both %v", lo, up, want)
+	}
+	// Everything compromised → reactive P̂− = 0.
+	owned := p
+	owned.Q = p.N
+	lo, _ = DNDPBounds(owned)
+	if lo > 1e-12 {
+		t.Fatalf("P̂− with all nodes compromised = %v, want 0", lo)
+	}
+}
+
+func TestDNDPReactiveMatchesPaperFig4Anchor(t *testing.T) {
+	// Fig. 5(a) caption: P̂_D = 0.2 corresponds to q = 100 at l = 40.
+	p := Defaults()
+	p.Q = 100
+	pd := DNDPReactive(p)
+	if pd < 0.15 || pd > 0.30 {
+		t.Fatalf("P̂_D(q=100) = %v, want ≈ 0.2 (paper anchor)", pd)
+	}
+}
+
+func TestDNDPLatencyMatchesPaperAnchor(t *testing.T) {
+	// §VI-B: at m = 100 (defaults), JR-SND latency is "under 2 seconds";
+	// the D-NDP identification term dominates at ≈ 1.7 s.
+	p := Defaults()
+	td := DNDPLatency(p)
+	if td < 1.0 || td > 2.0 {
+		t.Fatalf("T̄_D = %v s, want within (1, 2) s", td)
+	}
+	// Quadratic growth in m: T̄_D(2m)/T̄_D(m) ≈ 4 for large m.
+	p2 := p
+	p2.M = 200
+	ratio := DNDPLatency(p2) / td
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("T̄_D(200)/T̄_D(100) = %v, want ≈ 4", ratio)
+	}
+}
+
+func TestLatencyCrossoverNearM60(t *testing.T) {
+	// Fig. 2(b): T̄_D exceeds T̄_M (ν=2) when m > 60.
+	p := Defaults()
+	g := p.AvgDegree()
+	tm := MNDPLatency(p, 2, g)
+	below := p
+	below.M = 50
+	above := p
+	above.M = 80
+	if DNDPLatency(below) >= tm {
+		t.Fatalf("T̄_D(m=50) = %v >= T̄_M = %v; crossover too early", DNDPLatency(below), tm)
+	}
+	if DNDPLatency(above) <= tm {
+		t.Fatalf("T̄_D(m=80) = %v <= T̄_M = %v; crossover too late", DNDPLatency(above), tm)
+	}
+}
+
+func TestMNDPLowerBound(t *testing.T) {
+	// Degenerate cases.
+	if pm := MNDPLowerBound(0, 22.6); pm != 0 {
+		t.Fatalf("P̂_M(P̂_D=0) = %v, want 0", pm)
+	}
+	if pm := MNDPLowerBound(1, 22.6); pm != 1 {
+		t.Fatalf("P̂_M(P̂_D=1) = %v, want 1", pm)
+	}
+	// Monotone in both arguments.
+	if MNDPLowerBound(0.3, 22.6) <= MNDPLowerBound(0.2, 22.6) {
+		t.Fatal("P̂_M not monotone in P̂_D")
+	}
+	if MNDPLowerBound(0.2, 30) <= MNDPLowerBound(0.2, 20) {
+		t.Fatal("P̂_M not monotone in g")
+	}
+	// Sparse graph: exponent clamps at 0 → bound 0.
+	if pm := MNDPLowerBound(0.5, 0.5); pm != 0 {
+		t.Fatalf("P̂_M(sparse) = %v, want 0", pm)
+	}
+}
+
+func TestMNDPLatencyShape(t *testing.T) {
+	p := Defaults()
+	g := p.AvgDegree()
+	prev := 0.0
+	for nu := 1; nu <= 8; nu++ {
+		tm := MNDPLatency(p, nu, g)
+		if tm <= prev {
+			t.Fatalf("T̄_M not increasing at ν=%d", nu)
+		}
+		prev = tm
+	}
+	// Fig. 5(b): T̄_M ≈ 4 s at ν = 6 (the signature verification chain
+	// dominates). Allow the reproduction band to be generous on the
+	// absolute number but pin the order of magnitude.
+	tm6 := MNDPLatency(p, 6, g)
+	if tm6 < 2 || tm6 > 8 {
+		t.Fatalf("T̄_M(ν=6) = %v s, want a few seconds (paper ≈ 4 s)", tm6)
+	}
+}
+
+func TestCombined(t *testing.T) {
+	p := Defaults()
+	pHat, tBar := Combined(p)
+	pd := DNDPReactive(p)
+	if pHat < pd || pHat > 1 {
+		t.Fatalf("P̂ = %v must be in [P̂_D=%v, 1]", pHat, pd)
+	}
+	if tBar < DNDPLatency(p) {
+		t.Fatalf("T̄ = %v < T̄_D = %v", tBar, DNDPLatency(p))
+	}
+	// Defaults: Fig. 2 shows JR-SND with P̂ near 1 and T̄ < 2 s at m=100.
+	if pHat < 0.95 {
+		t.Fatalf("P̂(defaults) = %v, want > 0.95", pHat)
+	}
+	if tBar > 2 {
+		t.Fatalf("T̄(defaults) = %v s, want < 2 s", tBar)
+	}
+}
+
+func TestOverlapFactor(t *testing.T) {
+	want := 1 - 3*math.Sqrt(3)/(4*math.Pi)
+	if math.Abs(OverlapFactor()-want) > 1e-15 {
+		t.Fatal("overlap factor mismatch")
+	}
+	if f := OverlapFactor(); f < 0.58 || f > 0.59 {
+		t.Fatalf("overlap factor = %v, want ≈ 0.5865", f)
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	// Exact small case: Binomial(4, 0.5).
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for k, w := range want {
+		if got := binomialPMF(4, k, 0.5); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("pmf(4,%d,0.5) = %v, want %v", k, got, w)
+		}
+	}
+	if binomialPMF(4, 0, 0) != 1 || binomialPMF(4, 4, 1) != 1 {
+		t.Fatal("degenerate p handling wrong")
+	}
+	if binomialPMF(4, 2, 0) != 0 || binomialPMF(4, 2, 1) != 0 {
+		t.Fatal("degenerate p handling wrong")
+	}
+}

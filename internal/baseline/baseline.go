@@ -1,0 +1,182 @@
+// Package baseline implements the alternative schemes the paper argues
+// against (§I intuition and §II related work), so that the comparisons
+// become measurable experiments rather than prose:
+//
+//   - CommonCode: every node shares one network-wide secret spread code.
+//     Perfect until the first node compromise, then the jammer owns the
+//     whole network — the "single point of failure" of §I.
+//   - PairwiseCode: every pair shares a unique secret code. Immune to
+//     other nodes' compromise, but two nodes that have not yet discovered
+//     each other do not know which code to use — the circular dependency
+//     of §I: under jamming the scheme cannot bootstrap at all.
+//   - PublicCodeSet: the DSSS broadcast schemes of refs [7]–[10], built on
+//     a publicly known spread-code set. Jamming-resilient against an
+//     outsider with bounded emitters, but the public codes let the
+//     adversary inject unlimited forged neighbor-discovery requests — the
+//     DoS attack of §V-D, unbounded here.
+//   - UFH: uncoordinated frequency hopping key establishment (Strasser et
+//     al., ref [3]): no pre-shared secret, but establishment needs many
+//     lucky sender/receiver channel coincidences, so it is far too slow
+//     for the "a few seconds" encounter budget of mobile MANETs (§I).
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CommonCode models the single-shared-code scheme.
+type CommonCode struct{}
+
+// DiscoveryProbability returns the probability two physical neighbors
+// discover each other under reactive jamming with q compromised nodes:
+// the code stays secret only while q = 0.
+func (CommonCode) DiscoveryProbability(q int) float64 {
+	if q == 0 {
+		return 1
+	}
+	return 0
+}
+
+// Name identifies the scheme in experiment output.
+func (CommonCode) Name() string { return "common-code" }
+
+// PairwiseCode models the unique-code-per-pair scheme.
+type PairwiseCode struct{}
+
+// DiscoveryProbability returns the discovery probability under jamming:
+// without a prior discovery the endpoints cannot agree on which code to
+// use, so anti-jamming bootstrap is impossible (the §I circular
+// dependency). Without jamming the scheme works fine.
+func (PairwiseCode) DiscoveryProbability(jammed bool) float64 {
+	if jammed {
+		return 0
+	}
+	return 1
+}
+
+// Name identifies the scheme.
+func (PairwiseCode) Name() string { return "pairwise-code" }
+
+// PublicCodeSet models the DSSS broadcast schemes of refs [7]–[10]: each
+// message is spread with a code drawn uniformly from a public pool of
+// PoolSize codes; the jammer (who also knows the pool) can jam
+// ⌊Z(1+μ)/μ⌋ codes per message.
+type PublicCodeSet struct {
+	PoolSize int
+	Z        int
+	Mu       float64
+	// Retries is the number of times a discovery execution may be
+	// re-attempted within the encounter window.
+	Retries int
+}
+
+// Validate checks parameters.
+func (s PublicCodeSet) Validate() error {
+	if s.PoolSize < 1 {
+		return fmt.Errorf("baseline: pool size %d must be >= 1", s.PoolSize)
+	}
+	if s.Z < 0 {
+		return fmt.Errorf("baseline: z=%d must be >= 0", s.Z)
+	}
+	if s.Mu <= 0 {
+		return fmt.Errorf("baseline: μ=%v must be positive", s.Mu)
+	}
+	if s.Retries < 1 {
+		return fmt.Errorf("baseline: retries %d must be >= 1", s.Retries)
+	}
+	return nil
+}
+
+// MessageSurvival returns the probability one message escapes jamming:
+// 1 − min(1, tries/pool).
+func (s PublicCodeSet) MessageSurvival() float64 {
+	tries := float64(s.Z) * (1 + s.Mu) / s.Mu
+	frac := tries / float64(s.PoolSize)
+	if frac > 1 {
+		frac = 1
+	}
+	return 1 - frac
+}
+
+// DiscoveryProbability returns the probability a four-message discovery
+// handshake completes within the retry budget.
+func (s PublicCodeSet) DiscoveryProbability() float64 {
+	perTry := math.Pow(s.MessageSurvival(), 4)
+	return 1 - math.Pow(1-perTry, float64(s.Retries))
+}
+
+// DoSVerificationsBound returns the §V-D comparison: the number of forced
+// verifications an adversary can extract per victim. With public codes
+// every injection is de-spreadable by every victim, so the bound is
+// infinite (represented as +Inf); JR-SND caps it at (l−1)·(γ+1) per
+// compromised code.
+func (s PublicCodeSet) DoSVerificationsBound() float64 { return math.Inf(1) }
+
+// Name identifies the scheme.
+func (s PublicCodeSet) Name() string { return "public-code-set" }
+
+// UFH models uncoordinated-frequency-hopping key establishment (ref [3]):
+// sender and receiver hop independently over Channels; a fragment
+// transfers in a slot when they coincide on an unjammed channel, and the
+// key exchange completes after Fragments successful transfers.
+type UFH struct {
+	Channels       int
+	JammedChannels int     // channels the jammer blocks per slot
+	Fragments      int     // fragments per key-establishment message
+	SlotTime       float64 // seconds per hop slot
+}
+
+// Validate checks parameters.
+func (u UFH) Validate() error {
+	if u.Channels < 1 {
+		return fmt.Errorf("baseline: channels %d must be >= 1", u.Channels)
+	}
+	if u.JammedChannels < 0 || u.JammedChannels >= u.Channels {
+		return fmt.Errorf("baseline: jammed channels %d must be in [0, channels)", u.JammedChannels)
+	}
+	if u.Fragments < 1 {
+		return fmt.Errorf("baseline: fragments %d must be >= 1", u.Fragments)
+	}
+	if u.SlotTime <= 0 {
+		return fmt.Errorf("baseline: slot time %v must be positive", u.SlotTime)
+	}
+	return nil
+}
+
+// SlotSuccess returns the per-slot fragment-transfer probability:
+// coincidence (1/c) on an unjammed channel ((c−z)/c).
+func (u UFH) SlotSuccess() float64 {
+	c := float64(u.Channels)
+	return (1 / c) * ((c - float64(u.JammedChannels)) / c)
+}
+
+// ExpectedEstablishmentTime returns the expected time to transfer all
+// fragments: Fragments/p slots (negative-binomial mean).
+func (u UFH) ExpectedEstablishmentTime() float64 {
+	return float64(u.Fragments) / u.SlotSuccess() * u.SlotTime
+}
+
+// SimulateEstablishment draws one establishment-time sample.
+func (u UFH) SimulateEstablishment(rng *rand.Rand) float64 {
+	p := u.SlotSuccess()
+	slots := 0
+	for got := 0; got < u.Fragments; {
+		slots++
+		if rng.Float64() < p {
+			got++
+		}
+	}
+	return float64(slots) * u.SlotTime
+}
+
+// Name identifies the scheme.
+func (u UFH) Name() string { return "ufh" }
+
+// DefaultUFH returns parameters in the regime of ref [3]: 200 channels,
+// a key-establishment message split into 60 fragments, ~1 ms hop slots,
+// and a jammer blocking 10 channels.
+func DefaultUFH() UFH {
+	return UFH{Channels: 200, JammedChannels: 10, Fragments: 60, SlotTime: 1e-3}
+}

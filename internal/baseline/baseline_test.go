@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommonCodeSinglePointOfFailure(t *testing.T) {
+	var s CommonCode
+	if s.DiscoveryProbability(0) != 1 {
+		t.Fatal("uncompromised common code must work")
+	}
+	for _, q := range []int{1, 5, 100} {
+		if s.DiscoveryProbability(q) != 0 {
+			t.Fatalf("q=%d: common code must fail after any compromise", q)
+		}
+	}
+	if s.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestPairwiseCodeCircularDependency(t *testing.T) {
+	var s PairwiseCode
+	if s.DiscoveryProbability(false) != 1 {
+		t.Fatal("pairwise codes must work without jamming")
+	}
+	if s.DiscoveryProbability(true) != 0 {
+		t.Fatal("pairwise codes cannot bootstrap under jamming")
+	}
+}
+
+func TestPublicCodeSetValidation(t *testing.T) {
+	bad := []PublicCodeSet{
+		{PoolSize: 0, Z: 1, Mu: 1, Retries: 1},
+		{PoolSize: 10, Z: -1, Mu: 1, Retries: 1},
+		{PoolSize: 10, Z: 1, Mu: 0, Retries: 1},
+		{PoolSize: 10, Z: 1, Mu: 1, Retries: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	good := PublicCodeSet{PoolSize: 64, Z: 4, Mu: 1, Retries: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCodeSetSurvival(t *testing.T) {
+	s := PublicCodeSet{PoolSize: 100, Z: 10, Mu: 1, Retries: 1}
+	// tries = 20 → survival 0.8.
+	if got := s.MessageSurvival(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("survival = %v, want 0.8", got)
+	}
+	// Saturated jammer.
+	sat := PublicCodeSet{PoolSize: 10, Z: 10, Mu: 1, Retries: 1}
+	if sat.MessageSurvival() != 0 {
+		t.Fatal("saturated jammer must kill every message")
+	}
+	// Discovery with retries is monotone in retries.
+	prev := 0.0
+	for r := 1; r <= 5; r++ {
+		s.Retries = r
+		cur := s.DiscoveryProbability()
+		if cur <= prev || cur > 1 {
+			t.Fatalf("retries=%d: discovery %v not increasing in (0,1]", r, cur)
+		}
+		prev = cur
+	}
+	if !math.IsInf(s.DoSVerificationsBound(), 1) {
+		t.Fatal("public code set must have an unbounded DoS verification load")
+	}
+}
+
+func TestUFHValidation(t *testing.T) {
+	bad := []UFH{
+		{Channels: 0, Fragments: 1, SlotTime: 1},
+		{Channels: 10, JammedChannels: -1, Fragments: 1, SlotTime: 1},
+		{Channels: 10, JammedChannels: 10, Fragments: 1, SlotTime: 1},
+		{Channels: 10, Fragments: 0, SlotTime: 1},
+		{Channels: 10, Fragments: 1, SlotTime: 0},
+	}
+	for i, u := range bad {
+		if err := u.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultUFH().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUFHSlotSuccess(t *testing.T) {
+	u := UFH{Channels: 100, JammedChannels: 20, Fragments: 1, SlotTime: 1}
+	// (1/100)·(80/100) = 0.008.
+	if got := u.SlotSuccess(); math.Abs(got-0.008) > 1e-12 {
+		t.Fatalf("slot success = %v, want 0.008", got)
+	}
+}
+
+func TestUFHExpectedTimeMatchesSimulation(t *testing.T) {
+	u := DefaultUFH()
+	want := u.ExpectedEstablishmentTime()
+	rng := rand.New(rand.NewSource(1))
+	const samples = 400
+	var sum float64
+	for i := 0; i < samples; i++ {
+		sum += u.SimulateEstablishment(rng)
+	}
+	got := sum / samples
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("simulated mean %v, analytic %v", got, want)
+	}
+}
+
+func TestUFHIsSlowerThanDNDP(t *testing.T) {
+	// The paper's core latency claim: JR-SND discovers in under 2 s at the
+	// defaults while UFH-style establishment takes far longer.
+	u := DefaultUFH()
+	if u.ExpectedEstablishmentTime() < 5 {
+		t.Fatalf("UFH expected time %v s suspiciously fast; check parameters",
+			u.ExpectedEstablishmentTime())
+	}
+}
+
+// Property: UFH expected time decreases with more channels jammed? No —
+// it increases with jamming and decreases with channel coincidence; check
+// monotonicity in both directions.
+func TestPropertyUFHMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 20 + rng.Intn(400)
+		z := rng.Intn(c / 2)
+		u := UFH{Channels: c, JammedChannels: z, Fragments: 10, SlotTime: 1e-3}
+		if u.Validate() != nil {
+			return false
+		}
+		// More jamming → slower.
+		worse := u
+		worse.JammedChannels = z + c/4
+		if worse.Validate() == nil &&
+			worse.ExpectedEstablishmentTime() < u.ExpectedEstablishmentTime() {
+			return false
+		}
+		// More fragments → slower.
+		bigger := u
+		bigger.Fragments = 20
+		return bigger.ExpectedEstablishmentTime() > u.ExpectedEstablishmentTime()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package chips
+
+import "math/bits"
+
+// Correlate computes the normalized correlation between two equal-length
+// NRZ sequences, (1/N) Σ u_i v_i, as defined in §III of the paper. The
+// result lies in [-1, 1]: +1 for identical sequences, -1 for chip-wise
+// inverses, and near 0 for independent random sequences.
+func Correlate(u, v Sequence) (float64, error) {
+	if u.n != v.n {
+		return 0, ErrLengthMismatch
+	}
+	if u.n == 0 {
+		return 0, nil
+	}
+	agree := 0
+	for i := range u.words {
+		agree += 64 - bits.OnesCount64(u.words[i]^v.words[i])
+	}
+	// The tail beyond n was masked to zero in both words, so those
+	// positions always "agree"; subtract them back out.
+	agree -= len(u.words)*64 - u.n
+	disagree := u.n - agree
+	return float64(agree-disagree) / float64(u.n), nil
+}
+
+// CorrelateAt computes the normalized correlation between code and the
+// window buf[off : off+code.Len()) of a raw multi-level chip buffer (the
+// output of a channel that superimposes several ±1 signals). Each buffer
+// element is the signed sum of the concurrently transmitted chips at that
+// position. The caller must guarantee off+code.Len() <= len(buf).
+func CorrelateAt(code Sequence, buf []int32, off int) float64 {
+	n := code.Len()
+	if n == 0 {
+		return 0
+	}
+	var acc int64
+	for i := 0; i < n; i++ {
+		v := int64(buf[off+i])
+		if code.bit(i) {
+			acc += v
+		} else {
+			acc -= v
+		}
+	}
+	return float64(acc) / float64(n)
+}
+
+// Hamming returns the number of chip positions where u and v differ.
+func Hamming(u, v Sequence) (int, error) {
+	if u.n != v.n {
+		return 0, ErrLengthMismatch
+	}
+	d := 0
+	for i := range u.words {
+		d += bits.OnesCount64(u.words[i] ^ v.words[i])
+	}
+	return d, nil
+}

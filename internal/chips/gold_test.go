@@ -1,0 +1,210 @@
+package chips
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMSequencePeriodAndBalance(t *testing.T) {
+	// x^5 + x^2 + 1 is primitive: period 31, weight 16 (one more +1 than
+	// −1, the m-sequence balance property).
+	s, err := MSequence([]int{5, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 31 {
+		t.Fatalf("length %d, want 31", s.Len())
+	}
+	if s.Weight() != 16 {
+		t.Fatalf("weight %d, want 16", s.Weight())
+	}
+}
+
+func TestMSequenceAutocorrelation(t *testing.T) {
+	// m-sequence cyclic autocorrelation is 1 at lag 0 and −1/N elsewhere.
+	s, err := MSequence([]int{7, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Len()
+	if n != 127 {
+		t.Fatalf("length %d, want 127", n)
+	}
+	for lag := 0; lag < n; lag++ {
+		c, err := Correlate(s, rotate(s, lag))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := -1.0 / float64(n)
+		if lag == 0 {
+			want = 1
+		}
+		if math.Abs(c-want) > 1e-12 {
+			t.Fatalf("lag %d: autocorrelation %v, want %v", lag, c, want)
+		}
+	}
+}
+
+func TestMSequenceValidation(t *testing.T) {
+	if _, err := MSequence(nil, 1); err == nil {
+		t.Fatal("accepted empty taps")
+	}
+	if _, err := MSequence([]int{0}, 1); err == nil {
+		t.Fatal("accepted tap 0")
+	}
+	if _, err := MSequence([]int{64}, 1); err == nil {
+		t.Fatal("accepted tap 64")
+	}
+	if _, err := MSequence([]int{5, 2}, 0); err == nil {
+		t.Fatal("accepted zero seed")
+	}
+}
+
+func TestGoldFamilyCrossCorrelationBound(t *testing.T) {
+	for _, degree := range []int{5, 6, 7, 9} {
+		family, err := GoldFamily(degree, 12)
+		if err != nil {
+			t.Fatalf("degree %d: %v", degree, err)
+		}
+		bound := GoldBound(degree) + 1e-12
+		n := family[0].Len()
+		for i := 0; i < len(family); i++ {
+			for j := i + 1; j < len(family); j++ {
+				// Check a spread of relative cyclic shifts.
+				for lag := 0; lag < n; lag += 1 + n/37 {
+					c, err := Correlate(family[i], rotate(family[j], lag))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Abs(c) > bound {
+						t.Fatalf("degree %d: |corr(%d,%d @%d)| = %v exceeds Gold bound %v",
+							degree, i, j, lag, math.Abs(c), bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGoldFamilyDistinctCodes(t *testing.T) {
+	family, err := GoldFamily(7, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range family {
+		if family[i].Len() != 127 {
+			t.Fatalf("code %d has length %d, want 127", i, family[i].Len())
+		}
+		for j := i + 1; j < len(family); j++ {
+			if family[i].Equal(family[j]) {
+				t.Fatalf("codes %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestGoldFamilyValidation(t *testing.T) {
+	if _, err := GoldFamily(4, 3); err == nil {
+		t.Fatal("accepted degree without a preferred pair")
+	}
+	if _, err := GoldFamily(5, 0); err == nil {
+		t.Fatal("accepted count 0")
+	}
+	if _, err := GoldFamily(5, 1000); err == nil {
+		t.Fatal("accepted count beyond the family size")
+	}
+	if len(GoldDegrees()) == 0 {
+		t.Fatal("no degrees advertised")
+	}
+}
+
+func TestGoldBoundValues(t *testing.T) {
+	// t(k) = 2^⌊(k+2)/2⌋ + 1: t(5)=9, t(7)=17, t(9)=33, t(10)=65.
+	for _, c := range []struct {
+		degree int
+		t      float64
+	}{
+		{5, 9}, {7, 17}, {9, 33}, {10, 65},
+	} {
+		n := float64(int(1)<<uint(c.degree)) - 1
+		if got := GoldBound(c.degree); math.Abs(got-c.t/n) > 1e-12 {
+			t.Fatalf("GoldBound(%d) = %v, want %v", c.degree, got, c.t/n)
+		}
+	}
+}
+
+func TestWalshFamilyOrthogonal(t *testing.T) {
+	family, err := WalshFamily(6, 64) // 64 codes of 64 chips
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(family); i++ {
+		self, err := Correlate(family[i], family[i])
+		if err != nil || self != 1 {
+			t.Fatalf("code %d self-correlation %v", i, self)
+		}
+		for j := i + 1; j < len(family); j++ {
+			c, err := Correlate(family[i], family[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c != 0 {
+				t.Fatalf("Walsh codes %d,%d correlate %v, want exactly 0", i, j, c)
+			}
+		}
+	}
+}
+
+func TestWalshLosesOrthogonalityWhenMisaligned(t *testing.T) {
+	// The reason MANET discovery cannot use orthogonal codes: one chip of
+	// misalignment destroys the orthogonality guarantee.
+	family, err := WalshFamily(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := false
+	for i := 0; i < len(family) && !violated; i++ {
+		for j := 0; j < len(family) && !violated; j++ {
+			if i == j {
+				continue
+			}
+			c, err := Correlate(family[i], rotate(family[j], 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(c) > 0.15 {
+				violated = true
+			}
+		}
+	}
+	if !violated {
+		t.Fatal("misaligned Walsh codes stayed below τ everywhere; expected orthogonality loss")
+	}
+}
+
+func TestWalshFamilyValidation(t *testing.T) {
+	if _, err := WalshFamily(0, 1); err == nil {
+		t.Fatal("accepted degree 0")
+	}
+	if _, err := WalshFamily(17, 1); err == nil {
+		t.Fatal("accepted degree 17")
+	}
+	if _, err := WalshFamily(3, 0); err == nil {
+		t.Fatal("accepted count 0")
+	}
+	if _, err := WalshFamily(3, 9); err == nil {
+		t.Fatal("accepted count beyond the family")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	s := FromBits([]byte{1, 0, 0, 1, 1})
+	r := rotate(s, 2)
+	want := FromBits([]byte{0, 1, 1, 1, 0})
+	if !r.Equal(want) {
+		t.Fatalf("rotate = %v, want %v", r, want)
+	}
+	if !rotate(s, 0).Equal(s) || !rotate(s, 5).Equal(s) {
+		t.Fatal("identity rotations broken")
+	}
+}

@@ -1,0 +1,280 @@
+// Package chips implements NRZ (non-return-to-zero) chip sequences, the
+// elementary signal representation of a DSSS system. A chip sequence is a
+// vector over {+1, -1}; spread codes, spread messages and jamming signals
+// are all chip sequences. Sequences are stored packed, one bit per chip
+// (bit 1 means chip +1, bit 0 means chip -1), so correlation reduces to
+// popcount over XOR-ed words.
+package chips
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Sequence is an NRZ chip sequence over {+1, -1}. The zero value is the
+// empty sequence. Sequences are value types; Clone before mutating a shared
+// one.
+type Sequence struct {
+	n     int
+	words []uint64
+}
+
+// ErrLengthMismatch is returned by operations that require equal-length
+// sequences.
+var ErrLengthMismatch = errors.New("chips: sequence length mismatch")
+
+// New returns an all -1 (all bits zero) sequence of n chips.
+func New(n int) Sequence {
+	if n < 0 {
+		panic("chips: negative length")
+	}
+	return Sequence{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromBits builds a sequence from a slice of bits, mapping 1 → +1 and
+// 0 → -1 (the NRZ convention of the paper, §III).
+func FromBits(bs []byte) Sequence {
+	s := New(len(bs))
+	for i, b := range bs {
+		if b != 0 {
+			s.set(i, true)
+		}
+	}
+	return s
+}
+
+// FromSigns builds a sequence from a slice of ±1 values. Any positive value
+// maps to +1; zero or negative maps to -1.
+func FromSigns(signs []int8) Sequence {
+	s := New(len(signs))
+	for i, v := range signs {
+		if v > 0 {
+			s.set(i, true)
+		}
+	}
+	return s
+}
+
+// NewRandom returns a uniformly random sequence of n chips drawn from rng.
+// It is intended for tests and simulations that need reproducibility.
+func NewRandom(rng *rand.Rand, n int) Sequence {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = rng.Uint64()
+	}
+	s.maskTail()
+	return s
+}
+
+// Derive deterministically expands a seed into an n-chip sequence using a
+// SHA-256 counter stream. It is used both for pool-code generation by the
+// authority and for session spread-code derivation h_K(n_A ⊗ n_B).
+func Derive(seed []byte, n int) Sequence {
+	s := New(n)
+	var counter [8]byte
+	var buf []byte
+	h := sha256.New()
+	for i := range s.words {
+		if len(buf) < 8 {
+			h.Reset()
+			h.Write(seed)
+			h.Write(counter[:])
+			binary.BigEndian.PutUint64(counter[:], binary.BigEndian.Uint64(counter[:])+1)
+			buf = h.Sum(nil)
+		}
+		s.words[i] = binary.BigEndian.Uint64(buf[:8])
+		buf = buf[8:]
+	}
+	s.maskTail()
+	return s
+}
+
+// Len returns the number of chips in the sequence.
+func (s Sequence) Len() int { return s.n }
+
+// At returns the i-th chip as +1 or -1.
+func (s Sequence) At(i int) int8 {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("chips: index %d out of range [0,%d)", i, s.n))
+	}
+	if s.bit(i) {
+		return 1
+	}
+	return -1
+}
+
+// Bit reports whether the i-th chip is +1.
+func (s Sequence) Bit(i int) bool {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("chips: index %d out of range [0,%d)", i, s.n))
+	}
+	return s.bit(i)
+}
+
+// Clone returns an independent copy of s.
+func (s Sequence) Clone() Sequence {
+	c := Sequence{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether two sequences have identical length and chips.
+func (s Sequence) Equal(t Sequence) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Invert returns the chip-wise negation of s (every +1 becomes -1 and vice
+// versa). In DSSS terms this is the spreading of a -1 data bit.
+func (s Sequence) Invert() Sequence {
+	c := s.Clone()
+	for i := range c.words {
+		c.words[i] = ^c.words[i]
+	}
+	c.maskTail()
+	return c
+}
+
+// Xor returns the chip-wise product of s and t interpreted over {+1,-1}
+// (equal chips yield +1). Both sequences must have the same length.
+func (s Sequence) Xor(t Sequence) (Sequence, error) {
+	if s.n != t.n {
+		return Sequence{}, ErrLengthMismatch
+	}
+	c := s.Clone()
+	for i := range c.words {
+		// +1*+1 = +1 and -1*-1 = +1: the product bit is the XNOR of the
+		// operand bits, i.e. NOT XOR.
+		c.words[i] = ^(c.words[i] ^ t.words[i])
+	}
+	c.maskTail()
+	return c, nil
+}
+
+// Slice returns the subsequence [from, to). It copies; the result does not
+// alias s.
+func (s Sequence) Slice(from, to int) Sequence {
+	if from < 0 || to > s.n || from > to {
+		panic(fmt.Sprintf("chips: slice [%d,%d) out of range [0,%d]", from, to, s.n))
+	}
+	c := New(to - from)
+	for i := 0; i < c.n; i++ {
+		if s.bit(from + i) {
+			c.set(i, true)
+		}
+	}
+	return c
+}
+
+// Append returns the concatenation of s and t.
+func (s Sequence) Append(t Sequence) Sequence {
+	c := New(s.n + t.n)
+	copy(c.words, s.words)
+	if s.n%64 == 0 {
+		copy(c.words[s.n/64:], t.words)
+	} else {
+		for i := 0; i < t.n; i++ {
+			if t.bit(i) {
+				c.set(s.n+i, true)
+			}
+		}
+	}
+	return c
+}
+
+// Signs returns the sequence as a freshly allocated ±1 slice.
+func (s Sequence) Signs() []int8 {
+	out := make([]int8, s.n)
+	for i := range out {
+		out[i] = s.At(i)
+	}
+	return out
+}
+
+// Bits returns the sequence as 0/1 bytes (+1 → 1, -1 → 0).
+func (s Sequence) Bits() []byte {
+	out := make([]byte, s.n)
+	for i := range out {
+		if s.bit(i) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// FlipChips flips the chips at the given indices in place. It is used by
+// channel models to corrupt a transmission.
+func (s *Sequence) FlipChips(idx ...int) {
+	for _, i := range idx {
+		if i < 0 || i >= s.n {
+			panic(fmt.Sprintf("chips: flip index %d out of range [0,%d)", i, s.n))
+		}
+		s.words[i/64] ^= 1 << uint(i%64)
+	}
+}
+
+// Seed returns a 32-byte digest of the sequence suitable for use as a map
+// key or for deriving dependent material.
+func (s Sequence) Seed() [32]byte {
+	buf := make([]byte, 8+8*len(s.words))
+	binary.BigEndian.PutUint64(buf, uint64(s.n))
+	for i, w := range s.words {
+		binary.BigEndian.PutUint64(buf[8+8*i:], w)
+	}
+	return sha256.Sum256(buf)
+}
+
+// String renders short sequences as +- strings and long ones as a summary.
+func (s Sequence) String() string {
+	if s.n <= 64 {
+		b := make([]byte, s.n)
+		for i := 0; i < s.n; i++ {
+			if s.bit(i) {
+				b[i] = '+'
+			} else {
+				b[i] = '-'
+			}
+		}
+		return string(b)
+	}
+	seed := s.Seed()
+	return fmt.Sprintf("Sequence(n=%d, seed=%x)", s.n, seed[:4])
+}
+
+// Weight returns the number of +1 chips.
+func (s Sequence) Weight() int {
+	w := 0
+	for _, word := range s.words {
+		w += bits.OnesCount64(word)
+	}
+	return w
+}
+
+func (s Sequence) bit(i int) bool {
+	return s.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+func (s *Sequence) set(i int, v bool) {
+	if v {
+		s.words[i/64] |= 1 << uint(i%64)
+	} else {
+		s.words[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+func (s *Sequence) maskTail() {
+	if rem := s.n % 64; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}

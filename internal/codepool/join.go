@@ -1,0 +1,69 @@
+package codepool
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Late join (§V-A): the authority admits a new node by handing it the code
+// set of an unclaimed virtual node from the original pre-distribution. When
+// those run out, the authority runs the distribution process for a further
+// batch of w slots over the existing s codes, after which every code is
+// shared by one more node. "We do not expect too many new nodes in the
+// target scenario, so the number of nodes sharing any code will be only
+// slightly larger than l."
+
+// VacantSlots returns how many pre-provisioned (virtual-node) code sets
+// remain before the next join forces a batch expansion.
+func (p *Pool) VacantSlots() int { return len(p.vacant) }
+
+// Join admits one new node and returns its index. rng is needed only when
+// a batch expansion runs (no vacant slots left).
+func (p *Pool) Join(rng *rand.Rand) (int, error) {
+	if len(p.vacant) == 0 {
+		if rng == nil {
+			return 0, fmt.Errorf("codepool: batch expansion requires an rng")
+		}
+		p.expandBatch(rng)
+	}
+	codes := p.vacant[len(p.vacant)-1]
+	p.vacant = p.vacant[:len(p.vacant)-1]
+
+	node := p.n
+	p.n++
+	sorted := append([]CodeID(nil), codes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p.assign = append(p.assign, sorted)
+	for _, c := range sorted {
+		p.holders[c] = insertSorted(p.holders[c], int32(node))
+	}
+	return node, nil
+}
+
+// expandBatch provisions w more slots over the existing pool: in each of
+// the m rounds the w slots are randomly matched one-to-one with that
+// round's w codes, so every code gains exactly one future holder.
+func (p *Pool) expandBatch(rng *rand.Rand) {
+	batch := make([][]CodeID, p.w)
+	perm := make([]int, p.w)
+	for i := range perm {
+		perm[i] = i
+	}
+	for round := 0; round < p.m; round++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for subset := 0; subset < p.w; subset++ {
+			code := CodeID(round*p.w + subset)
+			batch[perm[subset]] = append(batch[perm[subset]], code)
+		}
+	}
+	p.vacant = append(p.vacant, batch...)
+}
+
+func insertSorted(xs []int32, v int32) []int32 {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}

@@ -1,0 +1,160 @@
+package codepool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJoinConsumesVacantSlots(t *testing.T) {
+	// n = 37, l = 8 → 3 virtual nodes pre-provisioned.
+	p := mustPool(t, 37, 6, 8, 31)
+	if p.VacantSlots() != 3 {
+		t.Fatalf("VacantSlots = %d, want 3", p.VacantSlots())
+	}
+	for join := 0; join < 3; join++ {
+		node, err := p.Join(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node != 37+join {
+			t.Fatalf("join %d: node index %d, want %d", join, node, 37+join)
+		}
+		if got := len(p.Codes(node)); got != 6 {
+			t.Fatalf("joined node has %d codes, want 6", got)
+		}
+	}
+	if p.VacantSlots() != 0 {
+		t.Fatalf("VacantSlots = %d after consuming all, want 0", p.VacantSlots())
+	}
+	// All codes now shared by exactly l nodes (the padding is filled).
+	for c := 0; c < p.S(); c++ {
+		if got := len(p.Holders(CodeID(c))); got != 8 {
+			t.Fatalf("code %d has %d holders after joins, want exactly 8", c, got)
+		}
+	}
+}
+
+func TestJoinBatchExpansion(t *testing.T) {
+	// l | n: no vacant slots; the first join triggers a batch of w = 5.
+	p := mustPool(t, 40, 6, 8, 32)
+	if p.VacantSlots() != 0 {
+		t.Fatalf("VacantSlots = %d, want 0", p.VacantSlots())
+	}
+	if _, err := p.Join(nil); err == nil {
+		t.Fatal("expansion without rng must fail")
+	}
+	rng := rand.New(rand.NewSource(1))
+	node, err := p.Join(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != 40 {
+		t.Fatalf("node = %d, want 40", node)
+	}
+	if p.VacantSlots() != 4 {
+		t.Fatalf("VacantSlots = %d after batch of 5 minus 1, want 4", p.VacantSlots())
+	}
+	// Joined node has m distinct codes; holders grow to at most l+1.
+	codes := p.Codes(node)
+	if len(codes) != 6 {
+		t.Fatalf("joined node has %d codes, want 6", len(codes))
+	}
+	seen := map[CodeID]bool{}
+	for _, c := range codes {
+		if seen[c] {
+			t.Fatalf("duplicate code %d", c)
+		}
+		seen[c] = true
+	}
+	for c := 0; c < p.S(); c++ {
+		if got := len(p.Holders(CodeID(c))); got > 9 {
+			t.Fatalf("code %d has %d holders, want <= l+1 = 9", c, got)
+		}
+	}
+	// Consume the whole batch: every code then has exactly l+1 holders.
+	for i := 0; i < 4; i++ {
+		if _, err := p.Join(rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c := 0; c < p.S(); c++ {
+		if got := len(p.Holders(CodeID(c))); got != 9 {
+			t.Fatalf("code %d has %d holders after full batch, want 9", c, got)
+		}
+	}
+}
+
+func TestJoinedNodesShareCodesWithOldNodes(t *testing.T) {
+	p := mustPool(t, 40, 10, 8, 33)
+	rng := rand.New(rand.NewSource(2))
+	node, err := p.Join(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The joined node must share a code with at least one existing node
+	// (each of its codes has l existing holders).
+	found := false
+	for old := 0; old < 40 && !found; old++ {
+		if len(p.Shared(old, node)) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("joined node shares no codes with anyone")
+	}
+	// Holders/Codes stay mutually consistent.
+	for _, c := range p.Codes(node) {
+		ok := false
+		for _, h := range p.Holders(c) {
+			if h == node {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("holders of %d missing the joined node", c)
+		}
+	}
+}
+
+// Property: any sequence of joins preserves the core invariants — m codes
+// per node, no duplicates, holders sorted and consistent.
+func TestPropertyJoinInvariants(t *testing.T) {
+	f := func(seed int64, joinsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := New(Config{N: 20, M: 5, L: 6, Rand: rng})
+		if err != nil {
+			return false
+		}
+		joins := int(joinsRaw) % 15
+		for j := 0; j < joins; j++ {
+			node, err := p.Join(rng)
+			if err != nil {
+				return false
+			}
+			codes := p.Codes(node)
+			if len(codes) != 5 {
+				return false
+			}
+			seen := map[CodeID]bool{}
+			for _, c := range codes {
+				if seen[c] {
+					return false
+				}
+				seen[c] = true
+			}
+		}
+		for c := 0; c < p.S(); c++ {
+			holders := p.Holders(CodeID(c))
+			for i := 1; i < len(holders); i++ {
+				if holders[i-1] >= holders[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

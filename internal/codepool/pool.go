@@ -1,0 +1,338 @@
+// Package codepool implements the random spread-code pre-distribution
+// scheme of §V-A: before deployment the authority generates a secret pool
+// of s = w·m spread codes and, over m rounds, randomly partitions the nodes
+// into w subsets of cardinality l, assigning one fresh code per subset.
+// After m rounds every node holds exactly m codes and every code is shared
+// by exactly l nodes (up to the virtual-node padding when l ∤ n).
+//
+// The package also models node-compromise attacks (which codes an
+// adversary learns by compromising q nodes) and the local revocation
+// counters of §V-D.
+package codepool
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/chips"
+)
+
+// CodeID identifies a spread code in the authority's pool ℂ = {C_1 … C_s}.
+type CodeID int32
+
+// Pool is the authority's view of the pre-distribution: which node holds
+// which codes. Only the authority has the full map; a deployed node sees
+// just its own code set.
+type Pool struct {
+	n       int // real nodes
+	m       int // codes per node
+	l       int // target sharers per code
+	w       int // subsets per round
+	virtual int // padding nodes (l' in the paper)
+	assign  [][]CodeID
+	holders [][]int32  // real holders per code, sorted
+	vacant  [][]CodeID // code sets of unclaimed virtual nodes (§V-A join)
+	seed    []byte     // secret used to materialize chip sequences
+
+	uniformPool int // nonzero for NewUniform pools: the pool size s
+}
+
+// Config configures pre-distribution.
+type Config struct {
+	// N is the number of nodes, M the number of codes per node, L the
+	// number of nodes sharing each code.
+	N, M, L int
+	// Rand drives the random partitions; required for reproducibility.
+	Rand *rand.Rand
+	// Seed is the secret that materializes CodeIDs into chip sequences.
+	// Optional; defaults to a seed drawn from Rand.
+	Seed []byte
+}
+
+// New runs the m-round distribution process.
+func New(cfg Config) (*Pool, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("codepool: need at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("codepool: need at least 1 code per node, got %d", cfg.M)
+	}
+	if cfg.L < 2 || cfg.L > cfg.N {
+		return nil, fmt.Errorf("codepool: sharers per code l=%d must be in [2, n=%d]", cfg.L, cfg.N)
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("codepool: Config.Rand must be set")
+	}
+	w := (cfg.N + cfg.L - 1) / cfg.L
+	padded := w * cfg.L
+	p := &Pool{
+		n:       cfg.N,
+		m:       cfg.M,
+		l:       cfg.L,
+		w:       w,
+		virtual: padded - cfg.N,
+		assign:  make([][]CodeID, cfg.N),
+		holders: make([][]int32, w*cfg.M),
+		vacant:  make([][]CodeID, 0, padded-cfg.N),
+		seed:    cfg.Seed,
+	}
+	if p.seed == nil {
+		p.seed = make([]byte, 32)
+		for i := 0; i < len(p.seed); i += 8 {
+			binary.BigEndian.PutUint64(p.seed[i:], cfg.Rand.Uint64())
+		}
+	}
+	for i := range p.assign {
+		p.assign[i] = make([]CodeID, 0, cfg.M)
+	}
+	ids := make([]int, padded) // real node indices plus virtual ids >= n
+	for i := range ids {
+		ids[i] = i
+	}
+	virtualAssign := make([][]CodeID, padded-cfg.N)
+	for round := 0; round < cfg.M; round++ {
+		cfg.Rand.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for subset := 0; subset < w; subset++ {
+			code := CodeID(round*w + subset)
+			for k := 0; k < cfg.L; k++ {
+				node := ids[subset*cfg.L+k]
+				if node < cfg.N {
+					p.assign[node] = append(p.assign[node], code)
+					p.holders[code] = append(p.holders[code], int32(node))
+				} else {
+					// Virtual-node code sets are kept for §V-A late join.
+					virtualAssign[node-cfg.N] = append(virtualAssign[node-cfg.N], code)
+				}
+			}
+		}
+	}
+	p.vacant = virtualAssign
+	for _, h := range p.holders {
+		sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+	}
+	for i := range p.assign {
+		sort.Slice(p.assign[i], func(a, b int) bool { return p.assign[i][a] < p.assign[i][b] })
+	}
+	return p, nil
+}
+
+// N returns the number of nodes, M the codes per node, L the sharing
+// parameter, and S the pool size.
+func (p *Pool) N() int { return p.n }
+
+// M returns the number of codes assigned to each node.
+func (p *Pool) M() int { return p.m }
+
+// L returns the maximum number of nodes sharing a code.
+func (p *Pool) L() int { return p.l }
+
+// S returns the pool size s (w·m for the structured scheme).
+func (p *Pool) S() int {
+	if p.uniformPool > 0 {
+		return p.uniformPool
+	}
+	return p.w * p.m
+}
+
+// Codes returns node i's code set ℂ_i (a copy).
+func (p *Pool) Codes(node int) []CodeID {
+	out := make([]CodeID, len(p.assign[node]))
+	copy(out, p.assign[node])
+	return out
+}
+
+// Holders returns the sorted node indices sharing code c (a copy).
+func (p *Pool) Holders(c CodeID) []int {
+	out := make([]int, len(p.holders[c]))
+	for i, v := range p.holders[c] {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Shared returns the codes shared by nodes a and b, ℂ_a ∩ ℂ_b. Both code
+// lists are sorted, so this is a linear merge.
+func (p *Pool) Shared(a, b int) []CodeID {
+	ca, cb := p.assign[a], p.assign[b]
+	var out []CodeID
+	i, j := 0, 0
+	for i < len(ca) && j < len(cb) {
+		switch {
+		case ca[i] < cb[j]:
+			i++
+		case ca[i] > cb[j]:
+			j++
+		default:
+			out = append(out, ca[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Sequence materializes code c as its N-chip pseudorandom sequence. Only
+// the authority (and the nodes the code was issued to) can do this, since
+// it requires the pool seed.
+func (p *Pool) Sequence(c CodeID, chipLen int) chips.Sequence {
+	var buf [12]byte
+	copy(buf[:], "code")
+	binary.BigEndian.PutUint32(buf[4:8], uint32(c))
+	seed := append(append([]byte(nil), p.seed...), buf[:8]...)
+	return chips.Derive(seed, chipLen)
+}
+
+// Compromise returns the set of codes an adversary learns by compromising
+// the given nodes (the union of their code sets).
+func (p *Pool) Compromise(nodes []int) *CodeSet {
+	cs := NewCodeSet(p.S())
+	for _, node := range nodes {
+		for _, c := range p.assign[node] {
+			cs.Add(c)
+		}
+	}
+	return cs
+}
+
+// CompromiseRandom compromises q distinct random nodes and returns both the
+// node indices and the learned code set.
+func (p *Pool) CompromiseRandom(rng *rand.Rand, q int) ([]int, *CodeSet, error) {
+	if q < 0 || q > p.n {
+		return nil, nil, fmt.Errorf("codepool: cannot compromise %d of %d nodes", q, p.n)
+	}
+	perm := rng.Perm(p.n)[:q]
+	return perm, p.Compromise(perm), nil
+}
+
+// NewUniform builds a pool with the *unstructured* random pre-distribution
+// of the sensor-network literature (the paper's ref [11]): each node
+// independently draws M distinct codes uniformly from a pool of PoolSize
+// codes. Unlike the paper's partition scheme there is no cap on how many
+// nodes share a code — the number of holders is Binomial(n, m/s) with an
+// unbounded tail, which is exactly the "fine control of the damage from
+// compromised spread codes" the paper's scheme adds. Exposed so the
+// ext-predistribution experiment can quantify the difference.
+func NewUniform(cfg Config, poolSize int) (*Pool, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("codepool: need at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.M < 1 || cfg.M > poolSize {
+		return nil, fmt.Errorf("codepool: m=%d must be in [1, poolSize=%d]", cfg.M, poolSize)
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("codepool: Config.Rand must be set")
+	}
+	p := &Pool{
+		n: cfg.N,
+		m: cfg.M,
+		// l is a target in the structured scheme; for the uniform scheme
+		// record the binomial mean n·m/s as the comparable figure.
+		l:       int(float64(cfg.N) * float64(cfg.M) / float64(poolSize)),
+		w:       0,
+		assign:  make([][]CodeID, cfg.N),
+		holders: make([][]int32, poolSize),
+		seed:    cfg.Seed,
+	}
+	if p.seed == nil {
+		p.seed = make([]byte, 32)
+		for i := 0; i < len(p.seed); i += 8 {
+			binary.BigEndian.PutUint64(p.seed[i:], cfg.Rand.Uint64())
+		}
+	}
+	p.uniformPool = poolSize
+	for node := 0; node < cfg.N; node++ {
+		perm := cfg.Rand.Perm(poolSize)[:cfg.M]
+		codes := make([]CodeID, cfg.M)
+		for i, c := range perm {
+			codes[i] = CodeID(c)
+			p.holders[c] = append(p.holders[c], int32(node))
+		}
+		sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+		p.assign[node] = codes
+	}
+	for _, h := range p.holders {
+		sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+	}
+	return p, nil
+}
+
+// MaxHolders returns the largest number of nodes sharing any single code —
+// exactly l for the structured scheme, a binomial tail for the uniform
+// one.
+func (p *Pool) MaxHolders() int {
+	best := 0
+	for _, h := range p.holders {
+		if len(h) > best {
+			best = len(h)
+		}
+	}
+	return best
+}
+
+// HolderQuantile returns the q-quantile of the per-code holder counts.
+func (p *Pool) HolderQuantile(q float64) int {
+	counts := make([]int, len(p.holders))
+	for i, h := range p.holders {
+		counts[i] = len(h)
+	}
+	sort.Ints(counts)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(q * float64(len(counts)-1))
+	return counts[idx]
+}
+
+// CodeSet is a dense bitset over CodeIDs.
+type CodeSet struct {
+	bits  []uint64
+	count int
+}
+
+// NewCodeSet creates an empty set able to hold ids in [0, size).
+func NewCodeSet(size int) *CodeSet {
+	return &CodeSet{bits: make([]uint64, (size+63)/64)}
+}
+
+// Add inserts c; duplicates are ignored.
+func (s *CodeSet) Add(c CodeID) {
+	w, b := int(c)/64, uint(c)%64
+	if s.bits[w]&(1<<b) == 0 {
+		s.bits[w] |= 1 << b
+		s.count++
+	}
+}
+
+// Remove deletes c if present.
+func (s *CodeSet) Remove(c CodeID) {
+	w, b := int(c)/64, uint(c)%64
+	if s.bits[w]&(1<<b) != 0 {
+		s.bits[w] &^= 1 << b
+		s.count--
+	}
+}
+
+// Contains reports membership.
+func (s *CodeSet) Contains(c CodeID) bool {
+	if s == nil {
+		return false
+	}
+	w, b := int(c)/64, uint(c)%64
+	if w >= len(s.bits) {
+		return false
+	}
+	return s.bits[w]&(1<<b) != 0
+}
+
+// Len returns the cardinality.
+func (s *CodeSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}

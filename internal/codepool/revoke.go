@@ -1,0 +1,55 @@
+package codepool
+
+import "fmt"
+
+// Revoker implements the local revocation defence of §V-D: each node keeps
+// a counter per spread code it holds; every invalid neighbor-discovery
+// request received under that code (e.g. a bad signature, a MAC mismatch)
+// increments the counter, and once it exceeds the threshold γ the node
+// locally revokes the code — subsequent messages spread with it are
+// ignored. A compromised code can therefore be used against each of its
+// l−1 other holders at most γ times, bounding the DoS verification load to
+// (l−1)·γ per compromised code.
+type Revoker struct {
+	gamma    int
+	counters map[CodeID]int
+	revoked  map[CodeID]bool
+}
+
+// NewRevoker creates a revocation table with threshold gamma >= 1.
+func NewRevoker(gamma int) (*Revoker, error) {
+	if gamma < 1 {
+		return nil, fmt.Errorf("codepool: revocation threshold γ=%d must be >= 1", gamma)
+	}
+	return &Revoker{
+		gamma:    gamma,
+		counters: map[CodeID]int{},
+		revoked:  map[CodeID]bool{},
+	}, nil
+}
+
+// Gamma returns the configured threshold.
+func (r *Revoker) Gamma() int { return r.gamma }
+
+// ReportInvalid records one invalid request received under code c and
+// reports whether this report crossed the revocation threshold.
+func (r *Revoker) ReportInvalid(c CodeID) (revokedNow bool) {
+	if r.revoked[c] {
+		return false
+	}
+	r.counters[c]++
+	if r.counters[c] > r.gamma {
+		r.revoked[c] = true
+		return true
+	}
+	return false
+}
+
+// Revoked reports whether c has been locally revoked.
+func (r *Revoker) Revoked(c CodeID) bool { return r.revoked[c] }
+
+// Count returns the current invalid-request count for c.
+func (r *Revoker) Count(c CodeID) int { return r.counters[c] }
+
+// RevokedCodes returns the number of locally revoked codes.
+func (r *Revoker) RevokedCodes() int { return len(r.revoked) }

@@ -1,0 +1,132 @@
+package codepool
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewUniformValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewUniform(Config{N: 1, M: 5, Rand: rng}, 100); err == nil {
+		t.Fatal("accepted n=1")
+	}
+	if _, err := NewUniform(Config{N: 10, M: 0, Rand: rng}, 100); err == nil {
+		t.Fatal("accepted m=0")
+	}
+	if _, err := NewUniform(Config{N: 10, M: 101, Rand: rng}, 100); err == nil {
+		t.Fatal("accepted m > pool size")
+	}
+	if _, err := NewUniform(Config{N: 10, M: 5, Rand: nil}, 100); err == nil {
+		t.Fatal("accepted nil rng")
+	}
+}
+
+func TestNewUniformBasicInvariants(t *testing.T) {
+	p, err := NewUniform(Config{N: 100, M: 10, Rand: rand.New(rand.NewSource(2))}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.S() != 500 {
+		t.Fatalf("S = %d, want 500", p.S())
+	}
+	total := 0
+	for node := 0; node < 100; node++ {
+		codes := p.Codes(node)
+		if len(codes) != 10 {
+			t.Fatalf("node %d has %d codes", node, len(codes))
+		}
+		seen := map[CodeID]bool{}
+		for _, c := range codes {
+			if seen[c] {
+				t.Fatalf("node %d holds duplicate code %d", node, c)
+			}
+			seen[c] = true
+		}
+	}
+	for c := 0; c < p.S(); c++ {
+		total += len(p.Holders(CodeID(c)))
+	}
+	if total != 100*10 {
+		t.Fatalf("holder slots %d, want 1000", total)
+	}
+}
+
+func TestUniformHolderTailExceedsStructuredCap(t *testing.T) {
+	// The paper's claim: the partition scheme caps every code at exactly
+	// l holders, while uniform drawing at the same density produces a
+	// binomial tail well above the mean. Use the Table I geometry scaled
+	// down: n=500, m=40, s=500 → mean holders 40.
+	rng := rand.New(rand.NewSource(3))
+	structured, err := New(Config{N: 500, M: 40, L: 40, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := NewUniform(Config{N: 500, M: 40, Rand: rng}, structured.S())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if structured.MaxHolders() != 40 {
+		t.Fatalf("structured max holders %d, want exactly l=40", structured.MaxHolders())
+	}
+	if uniform.MaxHolders() <= 40 {
+		t.Fatalf("uniform max holders %d, expected a tail above the mean 40", uniform.MaxHolders())
+	}
+	// Binomial(500, 40/500): sd ≈ 6; the max over 500 codes should exceed
+	// mean + 2sd comfortably.
+	if uniform.MaxHolders() < 50 {
+		t.Fatalf("uniform max holders %d suspiciously small", uniform.MaxHolders())
+	}
+	if q := structured.HolderQuantile(0.99); q != 40 {
+		t.Fatalf("structured p99 holders %d, want 40", q)
+	}
+}
+
+func TestUniformSharingProbabilityComparable(t *testing.T) {
+	// At equal density the sharing probability of the two schemes is
+	// nearly identical — the paper's scheme costs nothing on discovery.
+	rng := rand.New(rand.NewSource(4))
+	const n, m, l = 400, 20, 20
+	structured, err := New(Config{N: n, M: m, L: l, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := NewUniform(Config{N: n, M: m, Rand: rng}, structured.S())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shareRate := func(p *Pool) float64 {
+		pairs, shared := 0, 0
+		for a := 0; a < 100; a++ {
+			for b := a + 1; b < 100; b++ {
+				pairs++
+				if len(p.Shared(a, b)) > 0 {
+					shared++
+				}
+			}
+		}
+		return float64(shared) / float64(pairs)
+	}
+	s, u := shareRate(structured), shareRate(uniform)
+	if math.Abs(s-u) > 0.08 {
+		t.Fatalf("sharing rates diverge: structured %.3f vs uniform %.3f", s, u)
+	}
+}
+
+func TestUniformCompromiseAndSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p, err := NewUniform(Config{N: 50, M: 8, Rand: rng}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cs, err := p.CompromiseRandom(rand.New(rand.NewSource(6)), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Len() == 0 || cs.Len() > 40 {
+		t.Fatalf("compromised %d codes, want in (0, 40]", cs.Len())
+	}
+	if p.Sequence(3, 256).Len() != 256 {
+		t.Fatal("sequence materialization broken for uniform pools")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+)
+
+func TestRunEpochsStaticTopology(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(5, 4),
+		Seed:      111,
+		Jammer:    JamNone,
+		Positions: clusterPositions(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := net.RunEpochs(EpochConfig{Epochs: 3, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("got %d epochs, want 3", len(stats))
+	}
+	// A static clique with full code sharing reaches full coverage in the
+	// first epoch and stays there.
+	for i, s := range stats {
+		if s.PhysicalLinks != 10 {
+			t.Fatalf("epoch %d: %d links, want 10", i, s.PhysicalLinks)
+		}
+		if s.Coverage() != 1 {
+			t.Fatalf("epoch %d: coverage %v, want 1", i, s.Coverage())
+		}
+		if s.Expired != 0 {
+			t.Fatalf("epoch %d: %d expiries on a static topology", i, s.Expired)
+		}
+	}
+	if stats[0].NewDiscoveries != 10 {
+		t.Fatalf("epoch 0 recorded %d discoveries, want 10", stats[0].NewDiscoveries)
+	}
+	if stats[1].NewDiscoveries != 0 || stats[2].NewDiscoveries != 0 {
+		t.Fatal("later epochs rediscovered on a static topology")
+	}
+}
+
+func TestRunEpochsWithMobility(t *testing.T) {
+	p := smallParams(20, 6)
+	p.FieldWidth, p.FieldHeight = 800, 800
+	deploy, err := field.New(p.FieldWidth, p.FieldHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	positions := deploy.PlaceUniform(rng, p.N)
+	mob, err := field.NewWaypoint(field.WaypointConfig{
+		Field: deploy, MinSpeed: 10, MaxSpeed: 30, Pause: 0, Rand: rng,
+	}, positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(NetworkConfig{
+		Params:    p,
+		Seed:      112,
+		Jammer:    JamNone,
+		Positions: positions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := net.RunEpochs(EpochConfig{
+		Mobility:    mob,
+		StepSeconds: 30,
+		Epochs:      4,
+		Window:      1,
+		MNDP:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every epoch fully secures the current topology (no jamming, full
+	// sharing), and the mobility churn shows up as expiries/new pairs.
+	churn := 0
+	for i, s := range stats {
+		if s.PhysicalLinks > 0 && s.Coverage() < 1 {
+			t.Fatalf("epoch %d: coverage %v with no jamming", i, s.Coverage())
+		}
+		churn += s.Expired + s.NewDiscoveries
+	}
+	if churn == 0 {
+		t.Fatal("fast mobility produced no churn at all")
+	}
+}
+
+func TestRunEpochsValidation(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(2, 3),
+		Seed:      113,
+		Jammer:    JamNone,
+		Positions: clusterPositions(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.RunEpochs(EpochConfig{Epochs: 0}); err == nil {
+		t.Fatal("accepted zero epochs")
+	}
+	deploy, _ := field.New(1000, 1000)
+	rng := rand.New(rand.NewSource(1))
+	mob, _ := field.NewWaypoint(field.WaypointConfig{
+		Field: deploy, MinSpeed: 1, MaxSpeed: 2, Rand: rng,
+	}, deploy.PlaceUniform(rng, 5))
+	if _, err := net.RunEpochs(EpochConfig{Epochs: 1, Mobility: mob, StepSeconds: 1}); err == nil {
+		t.Fatal("accepted mobility size mismatch")
+	}
+	mob2, _ := field.NewWaypoint(field.WaypointConfig{
+		Field: deploy, MinSpeed: 1, MaxSpeed: 2, Rand: rng,
+	}, deploy.PlaceUniform(rng, 2))
+	if _, err := net.RunEpochs(EpochConfig{Epochs: 1, Mobility: mob2}); err == nil {
+		t.Fatal("accepted zero StepSeconds with mobility")
+	}
+}

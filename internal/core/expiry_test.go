@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/field"
+)
+
+func TestExpireStaleNeighborsDropsOutOfRangePairs(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(3, 5),
+		Seed:      41,
+		Jammer:    JamNone,
+		Positions: clusterPositions(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	if !net.DiscoveredPair(0, 1) || !net.DiscoveredPair(0, 2) {
+		t.Fatal("cluster failed to discover")
+	}
+	// Nothing is stale while everyone stays in range.
+	if dropped := net.ExpireStaleNeighbors(); dropped != 0 {
+		t.Fatalf("dropped %d links without any movement", dropped)
+	}
+	// Node 2 wanders away.
+	pos := net.Positions()
+	pos[2] = field.Point{X: 950, Y: 950}
+	if err := net.UpdatePositions(pos); err != nil {
+		t.Fatal(err)
+	}
+	dropped := net.ExpireStaleNeighbors()
+	if dropped != 2 {
+		t.Fatalf("dropped %d links, want 2 (2-0 and 2-1)", dropped)
+	}
+	if net.DiscoveredPair(0, 2) || net.DiscoveredPair(1, 2) {
+		t.Fatal("stale pairs still discovered")
+	}
+	if !net.DiscoveredPair(0, 1) {
+		t.Fatal("in-range pair was wrongly expired")
+	}
+}
+
+func TestRediscoveryAfterExpiry(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(2, 5),
+		Seed:      42,
+		Jammer:    JamNone,
+		Positions: clusterPositions(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	if !net.DiscoveredPair(0, 1) {
+		t.Fatal("initial discovery failed")
+	}
+	// Separate, expire, then reunite and re-run discovery.
+	apart := []field.Point{{X: 100, Y: 100}, {X: 900, Y: 900}}
+	if err := net.UpdatePositions(apart); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := net.ExpireStaleNeighbors(); dropped != 1 {
+		t.Fatalf("dropped %d, want 1", dropped)
+	}
+	together := clusterPositions(2)
+	if err := net.UpdatePositions(together); err != nil {
+		t.Fatal(err)
+	}
+	if net.DiscoveredPair(0, 1) {
+		t.Fatal("pair discovered before re-running the protocol")
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	if !net.DiscoveredPair(0, 1) {
+		t.Fatal("re-discovery after expiry failed")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/field"
+)
+
+func TestJoinNodeDiscoversExistingNetwork(t *testing.T) {
+	// n = 5 with l = 2 leaves vacant virtual slots (w = 3, padding 1).
+	p := smallParams(5, 6)
+	p.L = 2
+	net, err := NewNetwork(NetworkConfig{
+		Params:    p,
+		Seed:      81,
+		Jammer:    JamNone,
+		Positions: clusterPositions(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	before := net.NumNodes()
+	idx, err := net.JoinNode(field.Point{X: 130, Y: 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != before || net.NumNodes() != before+1 {
+		t.Fatalf("join index %d, node count %d", idx, net.NumNodes())
+	}
+	// The joined node holds m codes and is physically adjacent to the
+	// cluster.
+	if got := len(net.Pool().Codes(idx)); got != p.M {
+		t.Fatalf("joined node has %d codes, want %d", got, p.M)
+	}
+	if len(net.PhysicalGraph().Adj[idx]) == 0 {
+		t.Fatal("joined node has no physical neighbors")
+	}
+	// Its first discovery round secures every shared-code neighbor.
+	if err := net.RunDiscoveryFor(idx); err != nil {
+		t.Fatal(err)
+	}
+	discovered := 0
+	for _, v := range net.PhysicalGraph().Adj[idx] {
+		if len(net.Pool().Shared(idx, v)) > 0 {
+			if !net.DiscoveredPair(idx, v) {
+				t.Fatalf("joined node failed to discover shared-code neighbor %d", v)
+			}
+			discovered++
+		}
+	}
+	if discovered == 0 {
+		t.Fatal("joined node shares codes with nobody in range; topology too sparse for the test")
+	}
+}
+
+func TestJoinNodeBatchExpansion(t *testing.T) {
+	// l | n leaves no vacant slots: joining triggers a batch expansion.
+	p := smallParams(4, 5)
+	p.L = 4
+	net, err := NewNetwork(NetworkConfig{
+		Params:    p,
+		Seed:      82,
+		Jammer:    JamNone,
+		Positions: clusterPositions(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Pool().VacantSlots() != 0 {
+		t.Fatalf("expected no vacant slots, have %d", net.Pool().VacantSlots())
+	}
+	idx, err := net.JoinNode(field.Point{X: 140, Y: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDiscoveryFor(idx); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for v := 0; v < idx; v++ {
+		if net.DiscoveredPair(idx, v) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("batch-expanded joiner discovered nobody")
+	}
+}
+
+func TestJoinNodeValidation(t *testing.T) {
+	p := smallParams(3, 4)
+	net, err := NewNetwork(NetworkConfig{
+		Params:    p,
+		Seed:      83,
+		Jammer:    JamNone,
+		Positions: clusterPositions(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.JoinNode(field.Point{X: -5, Y: 0}); err == nil {
+		t.Fatal("accepted out-of-field position")
+	}
+	if err := net.RunDiscoveryFor(99); err == nil {
+		t.Fatal("accepted bad node index")
+	}
+	if err := net.Compromise([]int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDiscoveryFor(2); err == nil {
+		t.Fatal("ran discovery for a compromised node")
+	}
+}

@@ -1,0 +1,89 @@
+// Package core implements the JR-SND protocols of §V: D-NDP (direct
+// neighbor discovery over pre-distributed spread codes, §V-B) and M-NDP
+// (multi-hop neighbor discovery over established session codes, §V-C),
+// together with the DoS-resilience defence of §V-D, as an event-driven
+// protocol engine over the message-level radio medium.
+package core
+
+import (
+	"repro/internal/ibc"
+)
+
+// Message kinds on the medium.
+const (
+	kindHello = iota + 1
+	kindConfirm
+	kindAuth1
+	kindAuth2
+	kindMNDPRequest
+	kindMNDPResponse
+	kindSessionHello
+	kindSessionConfirm
+)
+
+// helloPayload is the D-NDP HELLO: {HELLO, ID_A} spread with one of A's
+// pool codes.
+type helloPayload struct {
+	Initiator ibc.NodeID
+}
+
+// confirmPayload is the D-NDP CONFIRM: {CONFIRM, ID_B} spread with a code
+// shared with the initiator.
+type confirmPayload struct {
+	Responder ibc.NodeID
+	Initiator ibc.NodeID
+}
+
+// authPayload carries the two mutual-authentication messages:
+// {ID, n, f_K(ID|n)}.
+type authPayload struct {
+	Sender ibc.NodeID
+	Peer   ibc.NodeID
+	Nonce  []byte
+	MAC    []byte
+}
+
+// mndpHop is one signed hop record appended to an M-NDP request or
+// response: the node's ID, its logical-neighbor list, and its signature
+// over the request so far.
+type mndpHop struct {
+	ID        ibc.NodeID
+	Neighbors []ibc.NodeID
+	Sig       ibc.Signature
+}
+
+// mndpRequest is the M-NDP request of §V-C. Hops[0] is the origin; each
+// forwarder appends itself. Nu bounds the total hops the request may
+// traverse.
+type mndpRequest struct {
+	Nonce []byte
+	Nu    int
+	Hops  []mndpHop
+	// OriginPos carries the origin's claimed position for the optional
+	// GPS false-positive filter (§V-C last paragraph). Units: meters.
+	OriginPosX, OriginPosY float64
+	HasOriginPos           bool
+}
+
+// mndpResponse travels back along the request path from the responder to
+// the origin. Path[0] is the responder; intermediate nodes append
+// themselves. ReturnRoute holds the remaining relay IDs toward the origin,
+// innermost next hop last.
+type mndpResponse struct {
+	Origin      ibc.NodeID
+	Nonce       []byte // responder's nonce n_B
+	OriginNonce []byte // echoed origin nonce n_A
+	Nu          int
+	Path        []mndpHop
+	ReturnRoute []ibc.NodeID
+}
+
+// sessionPayload completes M-NDP: HELLO/CONFIRM spread with the derived
+// session code C_BA.
+type sessionPayload struct {
+	Sender ibc.NodeID
+	Peer   ibc.NodeID
+}
+
+// bitsOfNeighborList returns the airtime size in bits of a neighbor list.
+func bitsOfNeighborList(count, lenID int) int { return count * lenID }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMonitorBudgetCapsNeighborTable(t *testing.T) {
+	// 6-node cluster, budget 3: no node may monitor more than 3 sessions.
+	net, err := NewNetwork(NetworkConfig{
+		Params:        smallParams(6, 5),
+		Seed:          91,
+		Jammer:        JamNone,
+		Positions:     clusterPositions(6),
+		MonitorBudget: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < net.NumNodes(); i++ {
+		if got := len(net.Node(i).Neighbors()); got > 3 {
+			t.Fatalf("node %d monitors %d sessions, budget is 3", i, got)
+		}
+	}
+	// The network still secured links — the budget limits, not disables.
+	if len(net.Discoveries()) == 0 {
+		t.Fatal("no discoveries under a budget of 3")
+	}
+}
+
+func TestMonitorBudgetEvictsOldestFirst(t *testing.T) {
+	// Budget 1 on a 3-node cluster: each node keeps only its most recent
+	// session.
+	net, err := NewNetwork(NetworkConfig{
+		Params:        smallParams(3, 4),
+		Seed:          92,
+		Jammer:        JamNone,
+		Positions:     clusterPositions(3),
+		MonitorBudget: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		nbs := net.Node(i).Neighbors()
+		if len(nbs) > 1 {
+			t.Fatalf("node %d monitors %d sessions, budget is 1", i, len(nbs))
+		}
+	}
+	// Eviction must be re-discoverable: run another round and the evicted
+	// sessions can re-form (churn, not deadlock).
+	before := len(net.Discoveries())
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Discoveries()) < before {
+		t.Fatal("discovery record shrank")
+	}
+}
+
+func TestUnlimitedBudgetByDefault(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(5, 4),
+		Seed:      93,
+		Jammer:    JamNone,
+		Positions: clusterPositions(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	// Full clique: everyone monitors everyone.
+	for i := 0; i < 5; i++ {
+		if got := len(net.Node(i).Neighbors()); got != 4 {
+			t.Fatalf("node %d has %d neighbors, want 4", i, got)
+		}
+	}
+}

@@ -1,0 +1,632 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/codepool"
+	"repro/internal/field"
+	"repro/internal/ibc"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// messageKindName names protocol message kinds for traces.
+func messageKindName(kind int) string {
+	switch kind {
+	case kindHello:
+		return "HELLO"
+	case kindConfirm:
+		return "CONFIRM"
+	case kindAuth1:
+		return "AUTH1"
+	case kindAuth2:
+		return "AUTH2"
+	case kindMNDPRequest:
+		return "MNDP-REQ"
+	case kindMNDPResponse:
+		return "MNDP-RESP"
+	case kindSessionHello:
+		return "SESS-HELLO"
+	case kindSessionConfirm:
+		return "SESS-CONFIRM"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// JammerKind selects the adversary model of §IV-B.
+type JammerKind int
+
+// Jammer models.
+const (
+	JamNone JammerKind = iota
+	JamRandom
+	JamReactive
+	// JamIntelligent is the §V-B "intelligent attack": let HELLOs pass so
+	// victims commit to a code, then reactively jam the follow-ups.
+	JamIntelligent
+)
+
+func (k JammerKind) String() string {
+	switch k {
+	case JamNone:
+		return "none"
+	case JamRandom:
+		return "random"
+	case JamReactive:
+		return "reactive"
+	case JamIntelligent:
+		return "intelligent"
+	default:
+		return "unknown"
+	}
+}
+
+// NetworkConfig configures a simulated JR-SND deployment.
+type NetworkConfig struct {
+	// Params holds the Table I parameter set.
+	Params analysis.Params
+	// Seed makes the whole run reproducible.
+	Seed int64
+	// Jammer selects the adversary model.
+	Jammer JammerKind
+	// Positions optionally fixes node placement; default is uniform.
+	Positions []field.Point
+	// GPSFilter enables the §V-C false-positive filter: nodes answer
+	// M-NDP requests only when the origin's claimed position is within
+	// transmission range.
+	GPSFilter bool
+	// AcceptWithoutBeacon models the naive M-NDP variant that accepts a
+	// peer upon the signed response alone, skipping the session-code
+	// HELLO/CONFIRM beacon. It exhibits the false positives the paper
+	// warns about and exists for the ablation experiment.
+	AcceptWithoutBeacon bool
+	// DisableRedundancy turns off the x-sub-session redundancy design of
+	// §V-B (responders pick a single shared code instead of all of them);
+	// for the ablation experiment.
+	DisableRedundancy bool
+	// ModelProcessingDelays samples the §V-B buffering/processing delays
+	// (t_r, t_d uniform in [0, t_p]) so discovery latency follows
+	// Theorem 2. When false, handlers respond immediately (faster tests).
+	ModelProcessingDelays bool
+	// Trace, when set, receives structured protocol events
+	// (transmissions, jam verdicts, discoveries, revocations, expiries).
+	Trace *trace.Recorder
+	// MonitorBudget caps how many session codes a node can monitor in
+	// real time (§IV-A: real-time de-spreading needs one correlator chain
+	// per code; see analysis.MonitorCapacity). When a new neighbor would
+	// exceed the budget, the node stops monitoring its oldest session —
+	// evicting that logical neighbor. 0 means unlimited.
+	MonitorBudget int
+}
+
+// PairDiscovery records a completed mutual discovery.
+type PairDiscovery struct {
+	A, B    ibc.NodeID
+	Via     DiscoveryMethod
+	At      sim.Time
+	Latency sim.Time
+}
+
+// Network is a full simulated deployment: nodes, medium, jammer, and the
+// authority with its code pool.
+type Network struct {
+	params    analysis.Params
+	cfg       NetworkConfig
+	engine    *sim.Engine
+	streams   *sim.Streams
+	pool      *codepool.Pool
+	authority *ibc.Authority
+	rootPub   []byte
+	medium    *radio.Medium
+	deploy    field.Field
+	positions []field.Point
+	graph     *field.Graph
+	nodes     []*Node
+	jammer    radio.Jammer
+
+	compromisedCodes *codepool.CodeSet
+	compromisedNodes map[int]bool
+
+	// one-directional acceptances; a pair is discovered when both exist
+	accepted map[[2]ibc.NodeID]sim.Time
+	pairs    []PairDiscovery
+	pairLive map[[2]ibc.NodeID]bool // currently-recorded mutual pairs
+	initTime map[ibc.NodeID]sim.Time
+}
+
+// NewNetwork builds the deployment. Nodes are created, issued keys and
+// codes, and attached to the medium; no protocol activity is scheduled yet.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	p := cfg.Params
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if p.N > 1<<16 {
+		return nil, fmt.Errorf("core: n=%d exceeds the 16-bit ID space", p.N)
+	}
+	streams := sim.NewStreams(cfg.Seed)
+	engine := sim.NewEngine()
+
+	deploy, err := field.New(p.FieldWidth, p.FieldHeight)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	positions := cfg.Positions
+	if positions == nil {
+		positions = deploy.PlaceUniform(streams.Get("placement"), p.N)
+	}
+	if len(positions) != p.N {
+		return nil, fmt.Errorf("core: %d positions for %d nodes", len(positions), p.N)
+	}
+	graph, err := field.PhysicalGraph(deploy, positions, p.Range)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	pool, err := codepool.New(codepool.Config{N: p.N, M: p.M, L: p.L, Rand: streams.Get("codepool")})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	authority, err := ibc.NewAuthority(ibc.AuthorityConfig{Rand: streams.Get("authority")})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	compromised := codepool.NewCodeSet(pool.S())
+	var jammer radio.Jammer
+	switch cfg.Jammer {
+	case JamNone:
+		jammer = radio.NoJammer{}
+	case JamReactive:
+		jammer = radio.NewReactiveJammer(compromised)
+	case JamRandom:
+		jammer, err = radio.NewRandomJammer(p.Z, p.Mu, compromised, streams.Get("jammer"))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	case JamIntelligent:
+		jammer = radio.NewIntelligentJammer(compromised, []int{kindHello})
+	default:
+		return nil, fmt.Errorf("core: unknown jammer kind %d", cfg.Jammer)
+	}
+
+	n := &Network{
+		params:           p,
+		cfg:              cfg,
+		engine:           engine,
+		streams:          streams,
+		pool:             pool,
+		authority:        authority,
+		rootPub:          authority.RootPublicKey(),
+		deploy:           deploy,
+		positions:        positions,
+		graph:            graph,
+		jammer:           jammer,
+		compromisedCodes: compromised,
+		compromisedNodes: map[int]bool{},
+		accepted:         map[[2]ibc.NodeID]sim.Time{},
+		pairLive:         map[[2]ibc.NodeID]bool{},
+		initTime:         map[ibc.NodeID]sim.Time{},
+	}
+	var observer func(from, to int, msg radio.Message, jammed bool)
+	if cfg.Trace != nil {
+		observer = func(from, to int, msg radio.Message, jammed bool) {
+			kind := trace.KindTx
+			if jammed {
+				kind = trace.KindJammed
+			}
+			cfg.Trace.Emit(trace.Event{
+				At:     float64(engine.Now()),
+				Kind:   kind,
+				Node:   from,
+				Peer:   to,
+				Detail: fmt.Sprintf("%s code=%d bits=%d", messageKindName(msg.Kind), msg.Code, msg.PayloadBits),
+			})
+		}
+	}
+	n.medium, err = radio.NewMedium(radio.MediumConfig{
+		Engine:   engine,
+		Jammer:   jammer,
+		Adjacent: func(node int) []int { return n.graph.Adj[node] },
+		ChipLen:  p.ChipLen,
+		ChipRate: p.ChipRate,
+		Mu:       p.Mu,
+		Observer: observer,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	n.nodes = make([]*Node, p.N)
+	keyRng := streams.Get("node-keys")
+	for i := 0; i < p.N; i++ {
+		priv, err := authority.Issue(ibc.NodeID(i), keyRng)
+		if err != nil {
+			return nil, fmt.Errorf("core: issue node %d: %w", i, err)
+		}
+		revoker, err := codepool.NewRevoker(p.Gamma)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		codes := pool.Codes(i)
+		codeSet := make(map[codepool.CodeID]bool, len(codes))
+		for _, c := range codes {
+			codeSet[c] = true
+		}
+		node := &Node{
+			net:          n,
+			index:        i,
+			id:           ibc.NodeID(i),
+			codes:        codes,
+			codeSet:      codeSet,
+			priv:         priv,
+			revoker:      revoker,
+			rng:          streams.Get(fmt.Sprintf("node-%d", i)),
+			neighbors:    map[ibc.NodeID]*Neighbor{},
+			responders:   map[ibc.NodeID]*dndpResponderState{},
+			seenRequests: map[string]bool{},
+			mndpOut:      map[ibc.NodeID]*mndpPending{},
+			mndpIn:       map[ibc.NodeID]*mndpPending{},
+			mndpStart:    map[ibc.NodeID]sim.Time{},
+		}
+		n.nodes[i] = node
+		n.medium.Attach(i, node.handle)
+	}
+	return n, nil
+}
+
+// Engine exposes the simulation engine (tests and examples drive it).
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Params returns the parameter set.
+func (n *Network) Params() analysis.Params { return n.params }
+
+// Node returns node i.
+func (n *Network) Node(i int) *Node { return n.nodes[i] }
+
+// Pool exposes the authority's code pre-distribution (tests and the
+// experiment harness inspect shared-code structure through it).
+func (n *Network) Pool() *codepool.Pool { return n.pool }
+
+// NumNodes returns the deployment size.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Positions returns the node placement (a copy).
+func (n *Network) Positions() []field.Point {
+	out := make([]field.Point, len(n.positions))
+	copy(out, n.positions)
+	return out
+}
+
+// PhysicalGraph returns the physical-neighbor graph.
+func (n *Network) PhysicalGraph() *field.Graph { return n.graph }
+
+// RevokeGlobally distributes an authority revocation for the given code:
+// every honest node locally drops it, so subsequent messages spread with
+// it are ignored network-wide (§I: compromised codes "can fortunately be
+// revoked after being identified"). It returns how many nodes held the
+// code.
+func (n *Network) RevokeGlobally(code codepool.CodeID) (int, error) {
+	if code < 0 || int(code) >= n.pool.S() {
+		return 0, fmt.Errorf("core: code %d out of pool range [0, %d)", code, n.pool.S())
+	}
+	held := 0
+	for _, nd := range n.nodes {
+		if !nd.codeSet[code] {
+			continue
+		}
+		held++
+		if nd.compromised {
+			continue
+		}
+		// Drive the local revoker past its threshold so holdsCode rejects
+		// the code from now on.
+		for !nd.revoker.Revoked(code) {
+			nd.revoker.ReportInvalid(code)
+		}
+	}
+	if held > 0 {
+		n.cfg.Trace.Emit(trace.Event{
+			At:     float64(n.engine.Now()),
+			Kind:   trace.KindRevocation,
+			Node:   -1,
+			Peer:   -1,
+			Detail: fmt.Sprintf("authority revoked code %d network-wide (%d holders)", code, held),
+		})
+	}
+	return held, nil
+}
+
+// JoinNode admits a new node at the given position (§V-A late join): the
+// authority hands it a pre-provisioned virtual-node code set (or runs a
+// batch expansion) and issues its ID-based private key; the node is placed
+// on the field and attached to the medium, ready to run discovery. It
+// returns the new node's index.
+func (n *Network) JoinNode(pos field.Point) (int, error) {
+	if len(n.nodes) >= 1<<16 {
+		return 0, fmt.Errorf("core: ID space exhausted")
+	}
+	if !n.deploy.Contains(pos) {
+		return 0, fmt.Errorf("core: join position %v outside the field", pos)
+	}
+	idx, err := n.pool.Join(n.streams.Get("join"))
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	if idx != len(n.nodes) {
+		return 0, fmt.Errorf("core: pool join index %d does not match node count %d", idx, len(n.nodes))
+	}
+	priv, err := n.authority.Issue(ibc.NodeID(idx), n.streams.Get("node-keys"))
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	revoker, err := codepool.NewRevoker(n.params.Gamma)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	codes := n.pool.Codes(idx)
+	codeSet := make(map[codepool.CodeID]bool, len(codes))
+	for _, c := range codes {
+		codeSet[c] = true
+	}
+	node := &Node{
+		net:          n,
+		index:        idx,
+		id:           ibc.NodeID(idx),
+		codes:        codes,
+		codeSet:      codeSet,
+		priv:         priv,
+		revoker:      revoker,
+		rng:          n.streams.Get(fmt.Sprintf("node-%d", idx)),
+		neighbors:    map[ibc.NodeID]*Neighbor{},
+		responders:   map[ibc.NodeID]*dndpResponderState{},
+		seenRequests: map[string]bool{},
+		mndpOut:      map[ibc.NodeID]*mndpPending{},
+		mndpIn:       map[ibc.NodeID]*mndpPending{},
+		mndpStart:    map[ibc.NodeID]sim.Time{},
+	}
+	n.nodes = append(n.nodes, node)
+	n.positions = append(n.positions, pos)
+	n.medium.Attach(idx, node.handle)
+	graph, err := field.PhysicalGraph(n.deploy, n.positions, n.params.Range)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	n.graph = graph
+	return idx, nil
+}
+
+// RunDiscoveryFor schedules one D-NDP initiation by the given node and
+// drains the engine — the natural first act of a freshly joined node.
+func (n *Network) RunDiscoveryFor(node int) error {
+	if node < 0 || node >= len(n.nodes) {
+		return fmt.Errorf("core: node index %d out of range", node)
+	}
+	if n.nodes[node].compromised {
+		return fmt.Errorf("core: node %d is compromised", node)
+	}
+	nd := n.nodes[node]
+	if _, err := n.engine.Schedule(0, func() { nd.initiateDNDP() }); err != nil {
+		return err
+	}
+	return n.engine.Run()
+}
+
+// ExpireStaleNeighbors implements the monitor-timeout policy of §IV-A at
+// the message level: a node stops monitoring a session code once the
+// corresponding neighbor has been silent past the threshold, i.e. — at
+// this fidelity — once the peer is no longer a physical neighbor. Both
+// endpoints drop the relationship and the per-peer protocol state, so a
+// later encounter runs discovery afresh. It returns the number of logical
+// links dropped.
+func (n *Network) ExpireStaleNeighbors() int {
+	dropped := 0
+	for _, nd := range n.nodes {
+		adjacent := map[ibc.NodeID]bool{}
+		for _, v := range n.graph.Adj[nd.index] {
+			adjacent[ibc.NodeID(v)] = true
+		}
+		for peer := range nd.neighbors {
+			if adjacent[peer] {
+				continue
+			}
+			delete(nd.neighbors, peer)
+			delete(nd.responders, peer)
+			delete(nd.mndpOut, peer)
+			delete(nd.mndpIn, peer)
+			if nd.initiator != nil {
+				delete(nd.initiator.peers, peer)
+			}
+			delete(n.accepted, [2]ibc.NodeID{nd.id, peer})
+			a, b := nd.id, peer
+			if a > b {
+				a, b = b, a
+			}
+			delete(n.pairLive, [2]ibc.NodeID{a, b})
+			n.cfg.Trace.Emit(trace.Event{
+				At:     float64(n.engine.Now()),
+				Kind:   trace.KindExpiry,
+				Node:   nd.index,
+				Peer:   int(peer),
+				Detail: "monitor timeout: peer out of range",
+			})
+			dropped++
+		}
+	}
+	return dropped / 2 // counted once per endpoint
+}
+
+// UpdatePositions moves the nodes (e.g. one mobility step) and rebuilds
+// the physical-neighbor graph; subsequent transmissions use the new
+// topology. Logical-neighbor state is kept — as in the paper, a node drops
+// a logical neighbor only when its monitoring timer expires, which the
+// next discovery round models by simply re-running the protocols.
+func (n *Network) UpdatePositions(positions []field.Point) error {
+	if len(positions) != len(n.nodes) {
+		return fmt.Errorf("core: %d positions for %d nodes", len(positions), len(n.nodes))
+	}
+	graph, err := field.PhysicalGraph(n.deploy, positions, n.params.Range)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	copy(n.positions, positions)
+	n.graph = graph
+	return nil
+}
+
+// MediumStats returns the radio counters.
+func (n *Network) MediumStats() radio.Stats { return n.medium.Stats() }
+
+// CompromisedCodes returns the number of codes the adversary knows.
+func (n *Network) CompromisedCodes() int { return n.compromisedCodes.Len() }
+
+// Compromise hands the listed nodes (and their spread codes) to the
+// adversary.
+func (n *Network) Compromise(nodes []int) error {
+	for _, i := range nodes {
+		if i < 0 || i >= len(n.nodes) {
+			return fmt.Errorf("core: compromise index %d out of range", i)
+		}
+		if n.compromisedNodes[i] {
+			continue
+		}
+		n.compromisedNodes[i] = true
+		n.nodes[i].compromised = true
+		for _, c := range n.nodes[i].codes {
+			n.compromisedCodes.Add(c)
+		}
+	}
+	return nil
+}
+
+// CompromiseRandom compromises q distinct random nodes.
+func (n *Network) CompromiseRandom(q int) ([]int, error) {
+	if q < 0 || q > len(n.nodes) {
+		return nil, fmt.Errorf("core: cannot compromise %d of %d nodes", q, len(n.nodes))
+	}
+	perm := n.streams.Get("compromise").Perm(len(n.nodes))[:q]
+	if err := n.Compromise(perm); err != nil {
+		return nil, err
+	}
+	return perm, nil
+}
+
+// rngFor returns the per-purpose RNG stream.
+func (n *Network) rngFor(name string) *rand.Rand { return n.streams.Get(name) }
+
+// dropAccepted clears a one-directional acceptance and the live-pair mark
+// (used by monitor-budget eviction and expiry).
+func (n *Network) dropAccepted(self, peer ibc.NodeID) {
+	delete(n.accepted, [2]ibc.NodeID{self, peer})
+	a, b := self, peer
+	if a > b {
+		a, b = b, a
+	}
+	delete(n.pairLive, [2]ibc.NodeID{a, b})
+}
+
+// recordDiscovery notes a one-directional acceptance; when both directions
+// exist the pair is recorded as mutually discovered.
+func (n *Network) recordDiscovery(self, peer ibc.NodeID, via DiscoveryMethod) {
+	now := n.engine.Now()
+	n.accepted[[2]ibc.NodeID{self, peer}] = now
+	if _, ok := n.accepted[[2]ibc.NodeID{peer, self}]; !ok {
+		return
+	}
+	a, b := self, peer
+	if a > b {
+		a, b = b, a
+	}
+	if n.pairLive[[2]ibc.NodeID{a, b}] {
+		return
+	}
+	n.pairLive[[2]ibc.NodeID{a, b}] = true
+	latency := sim.Time(0)
+	if t0, ok := n.initTime[a]; ok {
+		latency = now - t0
+	}
+	if t0, ok := n.initTime[b]; ok && (latency == 0 || now-t0 < latency) {
+		if now-t0 > 0 {
+			latency = now - t0
+		}
+	}
+	n.pairs = append(n.pairs, PairDiscovery{A: a, B: b, Via: via, At: now, Latency: latency})
+}
+
+// Discoveries returns all mutually discovered pairs so far.
+func (n *Network) Discoveries() []PairDiscovery {
+	out := make([]PairDiscovery, len(n.pairs))
+	copy(out, n.pairs)
+	return out
+}
+
+// DiscoveredPair reports whether nodes i and j are mutual logical
+// neighbors.
+func (n *Network) DiscoveredPair(i, j int) bool {
+	return n.nodes[i].IsLogicalNeighbor(ibc.NodeID(j)) &&
+		n.nodes[j].IsLogicalNeighbor(ibc.NodeID(i))
+}
+
+// RunDNDP schedules every non-compromised node to initiate D-NDP at a
+// uniform random time in [0, window) — the paper's randomized periodic
+// initiation — and runs the engine until quiescent.
+func (n *Network) RunDNDP(window sim.Time) error {
+	rng := n.rngFor("dndp-start")
+	for _, node := range n.nodes {
+		if node.compromised {
+			continue
+		}
+		node := node
+		start := sim.Time(rng.Float64()) * window
+		if _, err := n.engine.Schedule(start, func() { node.initiateDNDP() }); err != nil {
+			return err
+		}
+	}
+	return n.engine.Run()
+}
+
+// RunMNDP schedules every non-compromised node to initiate M-NDP at a
+// uniform random time in [0, window) and runs the engine until quiescent.
+func (n *Network) RunMNDP(window sim.Time) error {
+	rng := n.rngFor("mndp-start")
+	for _, node := range n.nodes {
+		if node.compromised {
+			continue
+		}
+		node := node
+		start := sim.Time(rng.Float64()) * window
+		if _, err := n.engine.Schedule(start, func() { node.initiateMNDP() }); err != nil {
+			return err
+		}
+	}
+	return n.engine.Run()
+}
+
+// handle dispatches a received message to the protocol handlers.
+func (nd *Node) handle(from int, msg radio.Message) {
+	if nd.compromised {
+		return // compromised nodes do not run the honest protocol
+	}
+	switch msg.Kind {
+	case kindHello:
+		nd.onHello(msg)
+	case kindConfirm:
+		nd.onConfirm(msg)
+	case kindAuth1:
+		nd.onAuth1(msg)
+	case kindAuth2:
+		nd.onAuth2(msg)
+	case kindMNDPRequest:
+		nd.onMNDPRequest(from, msg)
+	case kindMNDPResponse:
+		nd.onMNDPResponse(from, msg)
+	case kindSessionHello:
+		nd.onSessionHello(from, msg)
+	case kindSessionConfirm:
+		nd.onSessionConfirm(from, msg)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/codepool"
+	"repro/internal/ibc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DiscoveryMethod records how a logical neighbor was discovered.
+type DiscoveryMethod int
+
+// Discovery methods.
+const (
+	ViaDNDP DiscoveryMethod = iota + 1
+	ViaMNDP
+)
+
+func (m DiscoveryMethod) String() string {
+	switch m {
+	case ViaDNDP:
+		return "D-NDP"
+	case ViaMNDP:
+		return "M-NDP"
+	default:
+		return "unknown"
+	}
+}
+
+// Neighbor is an authenticated logical neighbor relationship.
+type Neighbor struct {
+	ID           ibc.NodeID
+	Via          DiscoveryMethod
+	DiscoveredAt sim.Time
+	SessionKey   [32]byte
+}
+
+// NodeStats counts the cryptographic work a node performed; the DoS
+// experiment of §V-D reports these.
+type NodeStats struct {
+	KeyComputations  int
+	MACVerifications int
+	MACFailures      int
+	SigVerifications int
+	SigFailures      int
+	InvalidReports   int
+	RevokedCodes     int
+}
+
+// dndpInitiatorState tracks one of the node's own HELLO rounds.
+type dndpInitiatorState struct {
+	nonce     []byte
+	startedAt sim.Time
+	peers     map[ibc.NodeID]*dndpInitiatorPeer
+}
+
+// dndpInitiatorPeer tracks the initiator's view of one responder.
+type dndpInitiatorPeer struct {
+	confirmCodes []codepool.CodeID
+	scheduled    bool
+	key          [32]byte
+	haveKey      bool
+	done         bool
+}
+
+// dndpResponderState tracks the responder's view of one initiator.
+type dndpResponderState struct {
+	helloCodes []codepool.CodeID
+	helloSeen  map[codepool.CodeID]bool
+	scheduled  bool
+	nonce      []byte
+	key        [32]byte
+	haveKey    bool
+	accepted   bool
+	firstHello sim.Time
+	auth2Codes map[codepool.CodeID]bool
+}
+
+// mndpPending tracks an M-NDP exchange awaiting the session HELLO/CONFIRM
+// beacon.
+type mndpPending struct {
+	peer        ibc.NodeID
+	key         [32]byte
+	initiatedAt sim.Time
+}
+
+// Node is one MANET node running JR-SND.
+type Node struct {
+	net   *Network
+	index int
+	id    ibc.NodeID
+
+	codes   []codepool.CodeID
+	codeSet map[codepool.CodeID]bool
+	priv    *ibc.PrivateKey
+	revoker *codepool.Revoker
+	rng     *rand.Rand
+
+	neighbors map[ibc.NodeID]*Neighbor
+
+	initiator  *dndpInitiatorState
+	responders map[ibc.NodeID]*dndpResponderState
+
+	// M-NDP state.
+	seenRequests map[string]bool             // (origin, nonce) dedup
+	mndpOut      map[ibc.NodeID]*mndpPending // awaiting beacon from peer
+	mndpIn       map[ibc.NodeID]*mndpPending // sent beacon, awaiting confirm
+	mndpStart    map[ibc.NodeID]sim.Time     // my own M-NDP initiation time
+
+	stats NodeStats
+
+	compromised bool
+}
+
+// ID returns the node's identity.
+func (nd *Node) ID() ibc.NodeID { return nd.id }
+
+// Index returns the node's simulation index.
+func (nd *Node) Index() int { return nd.index }
+
+// Stats returns a copy of the node's work counters.
+func (nd *Node) Stats() NodeStats {
+	s := nd.stats
+	s.RevokedCodes = nd.revoker.RevokedCodes()
+	return s
+}
+
+// Compromised reports whether the adversary controls this node.
+func (nd *Node) Compromised() bool { return nd.compromised }
+
+// Neighbors returns the node's logical-neighbor table (a copy).
+func (nd *Node) Neighbors() []Neighbor {
+	out := make([]Neighbor, 0, len(nd.neighbors))
+	for _, n := range nd.neighbors {
+		out = append(out, *n)
+	}
+	return out
+}
+
+// IsLogicalNeighbor reports whether peer has been discovered.
+func (nd *Node) IsLogicalNeighbor(peer ibc.NodeID) bool {
+	_, ok := nd.neighbors[peer]
+	return ok
+}
+
+// neighborIDs returns the sorted logical-neighbor ID list ℒ.
+func (nd *Node) neighborIDs() []ibc.NodeID {
+	out := make([]ibc.NodeID, 0, len(nd.neighbors))
+	for id := range nd.neighbors {
+		out = append(out, id)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+func sortNodeIDs(ids []ibc.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// acceptNeighbor installs peer as an authenticated logical neighbor,
+// evicting the oldest session first when the monitor budget is exhausted.
+func (nd *Node) acceptNeighbor(peer ibc.NodeID, via DiscoveryMethod, key [32]byte) {
+	if _, ok := nd.neighbors[peer]; ok {
+		return
+	}
+	if budget := nd.net.cfg.MonitorBudget; budget > 0 && len(nd.neighbors) >= budget {
+		nd.evictOldestNeighbor()
+	}
+	nd.neighbors[peer] = &Neighbor{
+		ID:           peer,
+		Via:          via,
+		DiscoveredAt: nd.net.engine.Now(),
+		SessionKey:   key,
+	}
+	nd.net.cfg.Trace.Emit(trace.Event{
+		At:     float64(nd.net.engine.Now()),
+		Kind:   trace.KindDiscovery,
+		Node:   nd.index,
+		Peer:   int(peer),
+		Detail: "via " + via.String(),
+	})
+	nd.net.recordDiscovery(nd.id, peer, via)
+}
+
+// evictOldestNeighbor stops monitoring the least-recently-established
+// session (the §IV-A capacity limit) and drops the corresponding logical
+// neighbor on this side.
+func (nd *Node) evictOldestNeighbor() {
+	var victim ibc.NodeID
+	first := true
+	var oldest sim.Time
+	for id, nb := range nd.neighbors {
+		if first || nb.DiscoveredAt < oldest || (nb.DiscoveredAt == oldest && id < victim) {
+			victim = id
+			oldest = nb.DiscoveredAt
+			first = false
+		}
+	}
+	if first {
+		return
+	}
+	delete(nd.neighbors, victim)
+	delete(nd.responders, victim)
+	delete(nd.mndpOut, victim)
+	delete(nd.mndpIn, victim)
+	if nd.initiator != nil {
+		delete(nd.initiator.peers, victim)
+	}
+	nd.net.dropAccepted(nd.id, victim)
+	nd.net.cfg.Trace.Emit(trace.Event{
+		At:     float64(nd.net.engine.Now()),
+		Kind:   trace.KindExpiry,
+		Node:   nd.index,
+		Peer:   int(victim),
+		Detail: "monitor budget exceeded: oldest session evicted",
+	})
+}
+
+// newNonce draws a fresh nonce of the configured length.
+func (nd *Node) newNonce() []byte {
+	bits := nd.net.params.LenNonce
+	buf := make([]byte, (bits+7)/8)
+	for i := range buf {
+		buf[i] = byte(nd.rng.Intn(256))
+	}
+	return buf
+}
+
+// holdsCode reports whether the node may de-spread code c (it was issued
+// the code and has not locally revoked it).
+func (nd *Node) holdsCode(c codepool.CodeID) bool {
+	return nd.codeSet[c] && !nd.revoker.Revoked(c)
+}
+
+// reportInvalid feeds the §V-D revocation counter for c.
+func (nd *Node) reportInvalid(c codepool.CodeID) {
+	if c < 0 {
+		return
+	}
+	nd.stats.InvalidReports++
+	if nd.revoker.ReportInvalid(c) {
+		nd.net.cfg.Trace.Emit(trace.Event{
+			At:     float64(nd.net.engine.Now()),
+			Kind:   trace.KindRevocation,
+			Node:   nd.index,
+			Peer:   -1,
+			Detail: fmt.Sprintf("code %d locally revoked (γ=%d exceeded)", c, nd.revoker.Gamma()),
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/codepool"
+)
+
+func TestGlobalRevocationSilencesCode(t *testing.T) {
+	// With l = n there is a single shared pool; revoke every code globally
+	// and discovery must die entirely.
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(3, 4),
+		Seed:      101,
+		Jammer:    JamNone,
+		Positions: clusterPositions(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < net.Pool().S(); c++ {
+		held, err := net.RevokeGlobally(codepool.CodeID(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if held != 3 {
+			t.Fatalf("code %d held by %d nodes, want 3", c, held)
+		}
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Discoveries()) != 0 {
+		t.Fatal("discovery succeeded on globally revoked codes")
+	}
+}
+
+func TestGlobalRevocationPartialKeepsOtherCodes(t *testing.T) {
+	// Revoking a single compromised code must not break discovery via the
+	// remaining codes.
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(2, 6),
+		Seed:      102,
+		Jammer:    JamNone,
+		Positions: clusterPositions(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.RevokeGlobally(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	if !net.DiscoveredPair(0, 1) {
+		t.Fatal("single-code revocation broke discovery entirely")
+	}
+}
+
+func TestGlobalRevocationNeutralizesReactiveJamming(t *testing.T) {
+	// The full §V-D story: the adversary compromises a node; the
+	// authority identifies and revokes the leaked codes; honest nodes
+	// fall back to their remaining clean codes and rediscover each other
+	// despite the reactive jammer still using the leaked material.
+	p := smallParams(6, 10)
+	p.L = 3
+	net, err := NewNetwork(NetworkConfig{
+		Params:    p,
+		Seed:      103,
+		Jammer:    JamReactive,
+		Positions: clusterPositions(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Compromise([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range net.Pool().Codes(5) {
+		if _, err := net.RevokeGlobally(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	// Pairs sharing at least one clean (non-leaked) code must discover;
+	// the leaked codes are both jammed AND revoked, so they play no part.
+	leaked := map[codepool.CodeID]bool{}
+	for _, c := range net.Pool().Codes(5) {
+		leaked[c] = true
+	}
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			clean := 0
+			for _, c := range net.Pool().Shared(a, b) {
+				if !leaked[c] {
+					clean++
+				}
+			}
+			if clean > 0 && !net.DiscoveredPair(a, b) {
+				t.Fatalf("pair (%d,%d) with %d clean codes failed despite revocation", a, b, clean)
+			}
+		}
+	}
+}
+
+func TestRevokeGloballyValidation(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(2, 3),
+		Seed:      104,
+		Jammer:    JamNone,
+		Positions: clusterPositions(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.RevokeGlobally(-1); err == nil {
+		t.Fatal("accepted negative code")
+	}
+	if _, err := net.RevokeGlobally(codepool.CodeID(net.Pool().S())); err == nil {
+		t.Fatal("accepted out-of-pool code")
+	}
+}

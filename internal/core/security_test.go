@@ -1,0 +1,311 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ibc"
+	"repro/internal/radio"
+)
+
+// securityNet builds a 4-node cluster, completes D-NDP, and returns the
+// network: all nodes are mutual logical neighbors afterwards.
+func securityNet(t *testing.T, seed int64) *Network {
+	t.Helper()
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(4, 5),
+		Seed:      seed,
+		Jammer:    JamNone,
+		Positions: clusterPositions(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			if !net.DiscoveredPair(a, b) {
+				t.Fatalf("setup: pair (%d,%d) not discovered", a, b)
+			}
+		}
+	}
+	return net
+}
+
+// inject delivers a raw message from `from` and drains the engine.
+func inject(t *testing.T, net *Network, from, to int, msg radio.Message) {
+	t.Helper()
+	if err := net.medium.Unicast(from, to, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMNDPRejectsForgedOriginSignature(t *testing.T) {
+	net := securityNet(t, 61)
+	victim := net.Node(0)
+	before := victim.Stats()
+
+	// A compromised relay (node 1) fabricates a request claiming origin 2
+	// with a garbage signature.
+	forged := mndpRequest{
+		Nonce: []byte{9, 9, 9},
+		Nu:    2,
+		Hops: []mndpHop{
+			{
+				ID:        2,
+				Neighbors: []ibc.NodeID{1},
+				Sig: ibc.Signature{
+					SignerID: 2,
+					PubKey:   make([]byte, 32),
+					Cert:     []byte("forged"),
+					Sig:      []byte("forged"),
+				},
+			},
+			{ID: 1, Neighbors: []ibc.NodeID{0, 2}, Sig: net.Node(1).priv.Sign([]byte("whatever"))},
+		},
+	}
+	inject(t, net, 1, 0, radio.Message{
+		Kind:        kindMNDPRequest,
+		Code:        radio.SessionCode,
+		PayloadBits: victim.requestBits(forged),
+		Payload:     forged,
+	})
+	after := victim.Stats()
+	if after.SigFailures <= before.SigFailures {
+		t.Fatal("forged origin signature was not rejected")
+	}
+	if len(victim.mndpIn) != 0 {
+		t.Fatal("victim derived a session for a forged request")
+	}
+}
+
+func TestMNDPRejectsTamperedNeighborList(t *testing.T) {
+	net := securityNet(t, 62)
+	victim := net.Node(0)
+	origin := net.Node(2)
+
+	// Build a correctly signed request from node 2, then tamper with its
+	// neighbor list after signing.
+	req := mndpRequest{
+		Nonce: origin.newNonce(),
+		Nu:    2,
+		Hops:  []mndpHop{{ID: origin.id, Neighbors: origin.neighborIDs()}},
+	}
+	req.Hops[0].Sig = origin.signRequest(req, 0)
+	req.Hops[0].Neighbors = append(req.Hops[0].Neighbors, 999) // tamper
+
+	before := victim.Stats()
+	inject(t, net, 2, 0, radio.Message{
+		Kind:        kindMNDPRequest,
+		Code:        radio.SessionCode,
+		PayloadBits: victim.requestBits(req),
+		Payload:     req,
+	})
+	after := victim.Stats()
+	if after.SigFailures <= before.SigFailures {
+		t.Fatal("tampered neighbor list passed signature verification")
+	}
+}
+
+func TestMNDPDedupSuppressesReplay(t *testing.T) {
+	net := securityNet(t, 63)
+	victim := net.Node(0)
+	origin := net.Node(2)
+
+	req := mndpRequest{
+		Nonce: []byte{1, 2, 3},
+		Nu:    2,
+		Hops:  []mndpHop{{ID: origin.id, Neighbors: origin.neighborIDs()}},
+	}
+	req.Hops[0].Sig = origin.signRequest(req, 0)
+
+	msg := radio.Message{
+		Kind:        kindMNDPRequest,
+		Code:        radio.SessionCode,
+		PayloadBits: victim.requestBits(req),
+		Payload:     req,
+	}
+	inject(t, net, 2, 0, msg)
+	firstVerifications := victim.Stats().SigVerifications
+	// Replay the identical request: the (origin, nonce) dedup must drop it
+	// before any signature verification runs.
+	inject(t, net, 2, 0, msg)
+	if got := victim.Stats().SigVerifications; got != firstVerifications {
+		t.Fatalf("replay caused %d extra verifications", got-firstVerifications)
+	}
+}
+
+func TestMNDPRejectsInvalidPathChain(t *testing.T) {
+	net := securityNet(t, 64)
+	victim := net.Node(0)
+	origin := net.Node(2)
+	relay := net.Node(1)
+
+	// Origin's signed list deliberately excludes the relay; the relay
+	// appends itself anyway. Signatures all verify, but the path check
+	// hop[i-1].Neighbors ∋ hop[i].ID must fail.
+	req := mndpRequest{
+		Nonce: []byte{7, 7},
+		Nu:    3,
+		Hops:  []mndpHop{{ID: origin.id, Neighbors: []ibc.NodeID{3}}}, // no relay
+	}
+	req.Hops[0].Sig = origin.signRequest(req, 0)
+	req.Hops = append(req.Hops, mndpHop{ID: relay.id, Neighbors: relay.neighborIDs()})
+	req.Hops[1].Sig = relay.signRequest(req, 1)
+
+	inject(t, net, 1, 0, radio.Message{
+		Kind:        kindMNDPRequest,
+		Code:        radio.SessionCode,
+		PayloadBits: victim.requestBits(req),
+		Payload:     req,
+	})
+	if len(victim.mndpIn) != 0 {
+		t.Fatal("victim answered a request whose path chain is invalid")
+	}
+	if victim.Stats().SigFailures != 0 {
+		t.Fatal("signatures were valid; rejection must come from the path check")
+	}
+}
+
+func TestMNDPRejectsForgedResponse(t *testing.T) {
+	net := securityNet(t, 65)
+	origin := net.Node(0)
+	before := origin.Stats()
+
+	forged := mndpResponse{
+		Origin:      origin.id,
+		Nonce:       []byte{1},
+		OriginNonce: []byte{2},
+		Nu:          2,
+		Path: []mndpHop{{
+			ID:        3,
+			Neighbors: []ibc.NodeID{0},
+			Sig: ibc.Signature{
+				SignerID: 3,
+				PubKey:   make([]byte, 32),
+				Cert:     []byte("bad"),
+				Sig:      []byte("bad"),
+			},
+		}},
+	}
+	inject(t, net, 1, 0, radio.Message{
+		Kind:        kindMNDPResponse,
+		Code:        radio.SessionCode,
+		PayloadBits: origin.responseBits(forged),
+		Payload:     forged,
+	})
+	after := origin.Stats()
+	if after.SigFailures <= before.SigFailures {
+		t.Fatal("forged response signature was not rejected")
+	}
+	if len(origin.mndpOut) != 0 {
+		t.Fatal("origin derived a session key from a forged response")
+	}
+}
+
+func TestMNDPRejectsTamperedResponseRelayHop(t *testing.T) {
+	net := securityNet(t, 67)
+	origin := net.Node(0)
+	responder := net.Node(3)
+	relay := net.Node(1)
+
+	// A well-formed responder hop…
+	resp := mndpResponse{
+		Origin:      origin.id,
+		Nonce:       responder.newNonce(),
+		OriginNonce: []byte{1, 2},
+		Nu:          2,
+		Path:        []mndpHop{{ID: responder.id, Neighbors: responder.neighborIDs()}},
+	}
+	resp.Path[0].Sig = responder.priv.Sign(encodeResponse(resp, 0))
+	// …relayed with a correctly signed relay hop…
+	resp.Path = append(resp.Path, mndpHop{ID: relay.id, Neighbors: relay.neighborIDs()})
+	resp.Path[1].Sig = relay.priv.Sign(encodeResponse(resp, 1))
+	// …then the relay's neighbor list is tampered after signing.
+	resp.Path[1].Neighbors = append(resp.Path[1].Neighbors, 777)
+
+	before := origin.Stats()
+	inject(t, net, 1, 0, radio.Message{
+		Kind:        kindMNDPResponse,
+		Code:        radio.SessionCode,
+		PayloadBits: origin.responseBits(resp),
+		Payload:     resp,
+	})
+	after := origin.Stats()
+	if after.SigFailures <= before.SigFailures {
+		t.Fatal("tampered relay hop passed verification")
+	}
+	if len(origin.mndpOut) != 0 {
+		t.Fatal("origin derived a key from a tampered response")
+	}
+}
+
+func TestMNDPResponsePathChainChecked(t *testing.T) {
+	net := securityNet(t, 68)
+	origin := net.Node(0)
+	responder := net.Node(3)
+	relay := net.Node(1)
+
+	// The responder's signed list deliberately excludes the relay; the
+	// relay still appends itself with a valid signature. All signatures
+	// verify, but the origin's C ∈ ℒ_B check must fail.
+	resp := mndpResponse{
+		Origin:      origin.id,
+		Nonce:       responder.newNonce(),
+		OriginNonce: []byte{3, 4},
+		Nu:          2,
+		Path:        []mndpHop{{ID: responder.id, Neighbors: []ibc.NodeID{2}}}, // no relay
+	}
+	resp.Path[0].Sig = responder.priv.Sign(encodeResponse(resp, 0))
+	resp.Path = append(resp.Path, mndpHop{ID: relay.id, Neighbors: relay.neighborIDs()})
+	resp.Path[1].Sig = relay.priv.Sign(encodeResponse(resp, 1))
+
+	inject(t, net, 1, 0, radio.Message{
+		Kind:        kindMNDPResponse,
+		Code:        radio.SessionCode,
+		PayloadBits: origin.responseBits(resp),
+		Payload:     resp,
+	})
+	if origin.Stats().SigFailures != 0 {
+		t.Fatal("signatures were valid; rejection must come from the path check")
+	}
+	if len(origin.mndpOut) != 0 {
+		t.Fatal("origin accepted a response whose relay is not in ℒ_B")
+	}
+}
+
+func TestMNDPIgnoresRequestsFromStrangers(t *testing.T) {
+	// Requests arriving from a node that is not a logical neighbor (no
+	// session code exists) are undecodable/ignored.
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(3, 5),
+		Seed:      66,
+		Jammer:    JamNone,
+		Positions: clusterPositions(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No D-NDP ran: nobody is anyone's logical neighbor.
+	origin := net.Node(2)
+	req := mndpRequest{
+		Nonce: []byte{5},
+		Nu:    2,
+		Hops:  []mndpHop{{ID: origin.id, Neighbors: nil}},
+	}
+	req.Hops[0].Sig = origin.signRequest(req, 0)
+	victim := net.Node(0)
+	inject(t, net, 2, 0, radio.Message{
+		Kind:        kindMNDPRequest,
+		Code:        radio.SessionCode,
+		PayloadBits: victim.requestBits(req),
+		Payload:     req,
+	})
+	if victim.Stats().SigVerifications != 0 {
+		t.Fatal("victim verified a request from a stranger")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTraceRecordsProtocolEvents(t *testing.T) {
+	rec, err := trace.NewRecorder(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smallParams(3, 5)
+	net, err := NewNetwork(NetworkConfig{
+		Params:    p,
+		Seed:      71,
+		Jammer:    JamReactive,
+		Positions: clusterPositions(3),
+		Trace:     rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compromise node 2 so the jammer knows the (fully shared) pool and
+	// jam events appear.
+	if err := net.Compromise([]int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	counts := rec.Counts()
+	if counts[trace.KindTx]+counts[trace.KindJammed] == 0 {
+		t.Fatal("no transmissions traced")
+	}
+	if counts[trace.KindJammed] == 0 {
+		t.Fatal("no jam verdicts traced despite a fully compromised pool")
+	}
+	// With every code compromised under reactive jamming there are no
+	// discoveries; all HELLOs must be jammed.
+	if counts[trace.KindDiscovery] != 0 {
+		t.Fatal("discovery traced although the pool is fully compromised")
+	}
+	hellos := rec.Filter(0, -1, "HELLO")
+	if len(hellos) == 0 {
+		t.Fatal("no HELLO events traced")
+	}
+	for _, e := range hellos {
+		if e.Kind != trace.KindJammed {
+			t.Fatalf("HELLO escaped the reactive jammer: %+v", e)
+		}
+	}
+}
+
+func TestTraceRecordsDiscoveryAndExpiry(t *testing.T) {
+	rec, err := trace.NewRecorder(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(2, 4),
+		Seed:      72,
+		Jammer:    JamNone,
+		Positions: clusterPositions(2),
+		Trace:     rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Filter(trace.KindDiscovery, -1, "")); got != 2 {
+		t.Fatalf("traced %d discovery events, want 2 (one per endpoint)", got)
+	}
+	// Move apart and expire: expiry events must appear.
+	pos := net.Positions()
+	pos[1].X, pos[1].Y = 900, 900
+	if err := net.UpdatePositions(pos); err != nil {
+		t.Fatal(err)
+	}
+	net.ExpireStaleNeighbors()
+	if got := len(rec.Filter(trace.KindExpiry, -1, "")); got != 2 {
+		t.Fatalf("traced %d expiry events, want 2", got)
+	}
+	// The rendered dump mentions the protocol message names.
+	var sb strings.Builder
+	if err := rec.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HELLO", "CONFIRM", "AUTH1", "AUTH2", "discovery", "expiry"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("dump missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package dsss
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chips"
+)
+
+// Channel is a chip-level shared-medium model: every concurrent signal
+// (legitimate transmission or jamming) contributes ±1 per chip, and the
+// receiver samples the signed sum. This is the superposition abstraction
+// under which the paper's correlation arguments operate: a signal spread
+// with an independent code adds ≈N(0, k/N) noise to the correlation with
+// the target code, negligible for N = 512, while a jamming signal using
+// the *same* code aligned to the transmission shifts the correlation by
+// ±1 and can flip or erase bits.
+type Channel struct {
+	buf []int32
+}
+
+// NewChannel creates a channel timeline of the given length in chips.
+func NewChannel(lengthChips int) (*Channel, error) {
+	if lengthChips <= 0 {
+		return nil, fmt.Errorf("dsss: channel length %d must be positive", lengthChips)
+	}
+	return &Channel{buf: make([]int32, lengthChips)}, nil
+}
+
+// Len returns the timeline length in chips.
+func (c *Channel) Len() int { return len(c.buf) }
+
+// Add superimposes a signal starting at chip offset off. Portions falling
+// outside the timeline are clipped.
+func (c *Channel) Add(signal chips.Sequence, off int) {
+	for i := 0; i < signal.Len(); i++ {
+		pos := off + i
+		if pos < 0 || pos >= len(c.buf) {
+			continue
+		}
+		c.buf[pos] += int32(signal.At(i))
+	}
+}
+
+// AddInverted superimposes the chip-wise inverse of signal at off — the
+// strongest jamming waveform against a known transmission, driving the
+// correlation toward −1.
+func (c *Channel) AddInverted(signal chips.Sequence, off int) {
+	c.Add(signal.Invert(), off)
+}
+
+// AddNoise adds independent ±amplitude noise chips over [off, off+length).
+func (c *Channel) AddNoise(rng *rand.Rand, off, length int, amplitude int32) {
+	for i := 0; i < length; i++ {
+		pos := off + i
+		if pos < 0 || pos >= len(c.buf) {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			c.buf[pos] += amplitude
+		} else {
+			c.buf[pos] -= amplitude
+		}
+	}
+}
+
+// Samples returns the receiver's view of the channel (the live buffer; the
+// caller must not modify it).
+func (c *Channel) Samples() []int32 { return c.buf }
+
+// SyncResult describes a message located by sliding-window synchronization.
+type SyncResult struct {
+	CodeIndex int // which of the candidate codes matched
+	Offset    int // chip offset of the first message bit
+	FirstCorr float64
+}
+
+// Synchronize implements the receiver algorithm of §V-B: scan every chip
+// offset of the buffered signal, correlating the N-chip window against each
+// candidate spread code, and lock onto the earliest offset whose
+// correlation magnitude reaches τ. The caller then de-spreads the rest of
+// the message from that offset with the matched code (DespreadAt).
+func Synchronize(buf []int32, codes []chips.Sequence, tau float64, msgBits int) (SyncResult, error) {
+	if len(codes) == 0 {
+		return SyncResult{}, fmt.Errorf("dsss: no candidate codes")
+	}
+	if tau <= 0 || tau >= 1 {
+		return SyncResult{}, fmt.Errorf("dsss: threshold τ=%v must be in (0,1)", tau)
+	}
+	n := codes[0].Len()
+	for _, c := range codes {
+		if c.Len() != n {
+			return SyncResult{}, fmt.Errorf("dsss: candidate codes have mixed lengths")
+		}
+	}
+	// Only offsets that leave room for the whole message can host its
+	// start (footnote 1 of the paper).
+	last := len(buf) - msgBits*n
+	for off := 0; off <= last; off++ {
+		for ci, code := range codes {
+			corr := chips.CorrelateAt(code, buf, off)
+			if corr >= tau || corr <= -tau {
+				return SyncResult{CodeIndex: ci, Offset: off, FirstCorr: corr}, nil
+			}
+		}
+	}
+	return SyncResult{}, ErrNoSignal
+}

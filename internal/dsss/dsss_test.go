@@ -1,0 +1,420 @@
+package dsss
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chips"
+)
+
+const (
+	testChipLen = 512
+	testTau     = 0.15
+)
+
+func TestBytesBitsRoundTrip(t *testing.T) {
+	data := []byte{0x00, 0xFF, 0xA5, 0x3C}
+	bits := BytesToBits(data)
+	if len(bits) != 32 {
+		t.Fatalf("bit count = %d, want 32", len(bits))
+	}
+	back, err := BitsToBytes(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := BitsToBytes(bits[:7]); err == nil {
+		t.Fatal("accepted non-multiple-of-8 bit count")
+	}
+	bits[3] = Erased
+	if _, err := BitsToBytes(bits); err == nil {
+		t.Fatal("accepted erased bit")
+	}
+}
+
+func TestSpreadDespreadCleanChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	code := chips.NewRandom(rng, testChipLen)
+	msgBits := BytesToBits([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	signal, err := Spread(msgBits, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signal.Len() != len(msgBits)*testChipLen {
+		t.Fatalf("signal length = %d, want %d", signal.Len(), len(msgBits)*testChipLen)
+	}
+	ch, err := NewChannel(signal.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Add(signal, 0)
+	bits, erasures, err := DespreadAt(ch.Samples(), 0, code, testTau, len(msgBits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(erasures) != 0 {
+		t.Fatalf("clean channel produced %d erasures", len(erasures))
+	}
+	for i := range msgBits {
+		if bits[i] != msgBits[i] {
+			t.Fatalf("bit %d = %d, want %d", i, bits[i], msgBits[i])
+		}
+	}
+}
+
+func TestSpreadValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	code := chips.NewRandom(rng, 64)
+	if _, err := Spread(nil, code); err == nil {
+		t.Fatal("accepted empty message")
+	}
+	if _, err := Spread([]byte{1}, chips.Sequence{}); err == nil {
+		t.Fatal("accepted empty code")
+	}
+	if _, err := Spread([]byte{2}, code); err == nil {
+		t.Fatal("accepted invalid bit value")
+	}
+}
+
+func TestDespreadWrongCodeErases(t *testing.T) {
+	// De-spreading with an independent code must stay below τ (bits come
+	// back erased, not silently wrong) with overwhelming probability.
+	rng := rand.New(rand.NewSource(3))
+	code := chips.NewRandom(rng, testChipLen)
+	wrong := chips.NewRandom(rng, testChipLen)
+	msgBits := BytesToBits([]byte{0x5A, 0x5A, 0x5A, 0x5A})
+	signal, err := Spread(msgBits, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := NewChannel(signal.Len())
+	ch.Add(signal, 0)
+	bits, erasures, err := DespreadAt(ch.Samples(), 0, wrong, testTau, len(msgBits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(erasures) != len(bits) {
+		t.Fatalf("wrong code decoded %d/%d bits confidently; want all erased",
+			len(bits)-len(erasures), len(bits))
+	}
+}
+
+func TestConcurrentIndependentTransmissionsCoexist(t *testing.T) {
+	// §IV-A: concurrent transmissions with different pseudorandom codes
+	// interfere negligibly at N = 512.
+	rng := rand.New(rand.NewSource(4))
+	codeA := chips.NewRandom(rng, testChipLen)
+	codeB := chips.NewRandom(rng, testChipLen)
+	msgA := BytesToBits([]byte{0x11, 0x22})
+	msgB := BytesToBits([]byte{0xEE, 0xDD})
+	sigA, _ := Spread(msgA, codeA)
+	sigB, _ := Spread(msgB, codeB)
+	ch, _ := NewChannel(sigA.Len())
+	ch.Add(sigA, 0)
+	ch.Add(sigB, 0)
+	bitsA, erasA, err := DespreadAt(ch.Samples(), 0, codeA, testTau, len(msgA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsB, erasB, err := DespreadAt(ch.Samples(), 0, codeB, testTau, len(msgB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(erasA) > 1 || len(erasB) > 1 {
+		t.Fatalf("cross-interference erased %d+%d bits", len(erasA), len(erasB))
+	}
+	for i := range msgA {
+		if bitsA[i] != Erased && bitsA[i] != msgA[i] {
+			t.Fatalf("A bit %d flipped", i)
+		}
+		if bitsB[i] != Erased && bitsB[i] != msgB[i] {
+			t.Fatalf("B bit %d flipped", i)
+		}
+	}
+}
+
+func TestSameCodeJammingDestroysBits(t *testing.T) {
+	// A reactive jammer that knows the code and alignment inverts the
+	// signal, erasing every chip (sum = 0 → correlation 0 < τ).
+	rng := rand.New(rand.NewSource(5))
+	code := chips.NewRandom(rng, testChipLen)
+	msg := BytesToBits([]byte{0xAB, 0xCD})
+	sig, _ := Spread(msg, code)
+	ch, _ := NewChannel(sig.Len())
+	ch.Add(sig, 0)
+	ch.AddInverted(sig, 0)
+	_, erasures, err := DespreadAt(ch.Samples(), 0, code, testTau, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(erasures) != len(msg) {
+		t.Fatalf("aligned same-code jamming erased only %d/%d bits", len(erasures), len(msg))
+	}
+}
+
+func TestSynchronizeFindsOffsetAndCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	codes := make([]chips.Sequence, 5)
+	for i := range codes {
+		codes[i] = chips.NewRandom(rng, testChipLen)
+	}
+	msg := BytesToBits([]byte{0xF0, 0x0F})
+	const off = 777
+	sig, _ := Spread(msg, codes[3])
+	ch, _ := NewChannel(off + sig.Len() + 100)
+	ch.Add(sig, off)
+	res, err := Synchronize(ch.Samples(), codes, testTau, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CodeIndex != 3 {
+		t.Fatalf("CodeIndex = %d, want 3", res.CodeIndex)
+	}
+	if res.Offset != off {
+		t.Fatalf("Offset = %d, want %d", res.Offset, off)
+	}
+	bits, erasures, err := DespreadAt(ch.Samples(), res.Offset, codes[res.CodeIndex], testTau, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(erasures) != 0 {
+		t.Fatalf("%d erasures after sync", len(erasures))
+	}
+	for i := range msg {
+		if bits[i] != msg[i] {
+			t.Fatalf("bit %d mismatch after sync", i)
+		}
+	}
+}
+
+func TestSynchronizeNoSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	codes := []chips.Sequence{chips.NewRandom(rng, testChipLen)}
+	// A silent channel never synchronizes.
+	ch, _ := NewChannel(4 * testChipLen)
+	if _, err := Synchronize(ch.Samples(), codes, testTau, 2); !errors.Is(err, ErrNoSignal) {
+		t.Fatalf("silent channel: err = %v, want ErrNoSignal", err)
+	}
+	// A foreign transmission (unknown code) must not synchronize either;
+	// use a raised threshold to keep the scan's false-positive probability
+	// negligible across all offsets.
+	foreign, _ := Spread(BytesToBits([]byte{0xAA, 0x55}), chips.NewRandom(rng, testChipLen))
+	ch2, _ := NewChannel(foreign.Len())
+	ch2.Add(foreign, 0)
+	if _, err := Synchronize(ch2.Samples(), codes, 0.4, 2); !errors.Is(err, ErrNoSignal) {
+		t.Fatalf("foreign signal: err = %v, want ErrNoSignal", err)
+	}
+}
+
+func TestSynchronizeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	buf := make([]int32, 1024)
+	if _, err := Synchronize(buf, nil, testTau, 1); err == nil {
+		t.Fatal("accepted empty code list")
+	}
+	codes := []chips.Sequence{chips.NewRandom(rng, 512), chips.NewRandom(rng, 256)}
+	if _, err := Synchronize(buf, codes, testTau, 1); err == nil {
+		t.Fatal("accepted mixed code lengths")
+	}
+	if _, err := Synchronize(buf, codes[:1], 0, 1); err == nil {
+		t.Fatal("accepted τ=0")
+	}
+}
+
+func TestDespreadValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	code := chips.NewRandom(rng, 64)
+	buf := make([]int32, 640)
+	if _, _, err := DespreadAt(buf, 0, chips.Sequence{}, testTau, 1); err == nil {
+		t.Fatal("accepted empty code")
+	}
+	if _, _, err := DespreadAt(buf, 0, code, 1.5, 1); err == nil {
+		t.Fatal("accepted τ>=1")
+	}
+	if _, _, err := DespreadAt(buf, 600, code, testTau, 2); err == nil {
+		t.Fatal("accepted out-of-range window")
+	}
+}
+
+func TestFrameEndToEndClean(t *testing.T) {
+	frame, err := NewFrame(1.0, testTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	code := chips.NewRandom(rng, testChipLen)
+	msg := []byte{0x01, 0x23, 0x45} // HELLO-sized: l_t+l_id ≈ 21 bits
+	sig, err := frame.Transmit(msg, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Len() != frame.AirtimeChips(len(msg), testChipLen) {
+		t.Fatalf("airtime = %d chips, want %d", sig.Len(), frame.AirtimeChips(len(msg), testChipLen))
+	}
+	ch, _ := NewChannel(sig.Len())
+	ch.Add(sig, 0)
+	got, err := frame.Receive(ch.Samples(), 0, code, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("frame round trip mismatch")
+	}
+}
+
+func TestFrameSurvivesPartialJamming(t *testing.T) {
+	// Jam just under μ/(1+μ) = 1/2 of the frame with the correct code:
+	// the RS erasure budget absorbs it.
+	frame, err := NewFrame(1.0, testTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	code := chips.NewRandom(rng, testChipLen)
+	msg := make([]byte, 40)
+	rng.Read(msg)
+	sig, _ := frame.Transmit(msg, code)
+	ch, _ := NewChannel(sig.Len())
+	ch.Add(sig, 0)
+	// Invert a prefix burst of just under half the coded symbols, byte
+	// aligned so the erasure budget is respected exactly.
+	codec := frame.Codec()
+	jamBytes := len(sig.Signs())/(8*testChipLen)*codec.BlockCode().Parity()/codec.BlockCode().N() - 1
+	jamChips := jamBytes * 8 * testChipLen
+	ch.AddInverted(sig.Slice(0, jamChips), 0)
+	got, err := frame.Receive(ch.Samples(), 0, code, len(msg))
+	if err != nil {
+		t.Fatalf("frame lost under sub-budget jamming: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("frame corrupted under sub-budget jamming")
+	}
+}
+
+func TestFrameDiesUnderFullJamming(t *testing.T) {
+	frame, _ := NewFrame(1.0, testTau)
+	rng := rand.New(rand.NewSource(12))
+	code := chips.NewRandom(rng, testChipLen)
+	msg := make([]byte, 20)
+	rng.Read(msg)
+	sig, _ := frame.Transmit(msg, code)
+	ch, _ := NewChannel(sig.Len())
+	ch.Add(sig, 0)
+	ch.AddInverted(sig, 0) // full-frame reactive jam
+	if _, err := frame.Receive(ch.Samples(), 0, code, len(msg)); err == nil {
+		t.Fatal("frame decoded despite full-frame same-code jamming")
+	}
+}
+
+func TestReceiveScanLocksPastForeignTraffic(t *testing.T) {
+	// A foreign-code transmission earlier in the buffer can trip raw
+	// synchronization; ReceiveScan must skip it and decode the real frame.
+	frame, err := NewFrame(1.0, testTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	code := chips.NewRandom(rng, testChipLen)
+	foreign := chips.NewRandom(rng, testChipLen)
+	msg := []byte("HELLO:A")
+	const off = 700
+	sig, err := frame.Transmit(msg, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise, err := frame.Transmit([]byte("NOISE-NEIGHBOR"), foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := NewChannel(off + sig.Len() + 500)
+	ch.Add(noise, 0)
+	ch.Add(sig, off)
+	got, codeIdx, lockedAt, err := frame.ReceiveScan(ch.Samples(), []chips.Sequence{code}, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) || codeIdx != 0 {
+		t.Fatalf("got %q (code %d), want %q (code 0)", got, codeIdx, msg)
+	}
+	if lockedAt != off {
+		t.Fatalf("locked at %d, want %d", lockedAt, off)
+	}
+}
+
+func TestReceiveScanNoFrame(t *testing.T) {
+	frame, _ := NewFrame(1.0, testTau)
+	rng := rand.New(rand.NewSource(21))
+	code := chips.NewRandom(rng, testChipLen)
+	buf := make([]int32, 20*testChipLen)
+	if _, _, _, err := frame.ReceiveScan(buf, []chips.Sequence{code}, 4); !errors.Is(err, ErrNoSignal) {
+		t.Fatalf("err = %v, want ErrNoSignal", err)
+	}
+	if _, _, _, err := frame.ReceiveScan(buf, nil, 4); err == nil {
+		t.Fatal("accepted empty code list")
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	if _, err := NewChannel(0); err == nil {
+		t.Fatal("accepted zero-length channel")
+	}
+}
+
+func TestChannelClipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sig := chips.NewRandom(rng, 100)
+	ch, _ := NewChannel(50)
+	ch.Add(sig, -25) // half before, half inside
+	ch.Add(sig, 40)  // runs past the end
+	// No panic and the buffer stays the declared length.
+	if ch.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", ch.Len())
+	}
+}
+
+// Property: frame round trip survives any random erasure pattern within
+// the per-frame budget, for random messages and codes.
+func TestPropertyFrameJammingWithinBudget(t *testing.T) {
+	frame, err := NewFrame(1.0, testTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chipLen = 128 // smaller chips keep the property test fast
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		code := chips.NewRandom(rng, chipLen)
+		msg := make([]byte, 8+rng.Intn(32))
+		rng.Read(msg)
+		sig, err := frame.Transmit(msg, code)
+		if err != nil {
+			return false
+		}
+		ch, err := NewChannel(sig.Len())
+		if err != nil {
+			return false
+		}
+		ch.Add(sig, 0)
+		// Jam a random set of whole coded bytes within the budget.
+		codec := frame.Codec()
+		codedBytes := frame.EncodedBits(len(msg)) / 8
+		budget := codedBytes*codec.BlockCode().Parity()/codec.BlockCode().N() - 1
+		if budget < 0 {
+			budget = 0
+		}
+		count := rng.Intn(budget + 1)
+		for _, b := range rng.Perm(codedBytes)[:count] {
+			from, to := b*8*chipLen, (b+1)*8*chipLen
+			ch.AddInverted(sig.Slice(from, to), from)
+		}
+		got, err := frame.Receive(ch.Samples(), 0, code, len(msg))
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package dsss
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/ibc"
+)
+
+// End-to-end chip-level D-NDP: the four-message §V-B exchange carried out
+// entirely at the PHY — real spread codes, real frames, real correlation
+// receivers, and a chip-level reactive jammer — culminating in both
+// endpoints deriving the same session spread code. This validates the
+// message-level abstraction used by the campaign simulator against the
+// physical layer it stands for.
+
+const (
+	e2eChipLen = 256 // smaller than 512 to keep the sliding scans fast
+	e2eTau     = 0.15
+	e2eMu      = 1.0
+)
+
+// chipJammer is a reactive jammer at chip fidelity: for every frame spread
+// with a code it knows, it identifies the code during the first 1/(1+μ)
+// fraction and inverts the remainder — destroying more than the ECC budget.
+type chipJammer struct {
+	known []chips.Sequence
+}
+
+func (j *chipJammer) knows(code chips.Sequence) bool {
+	for _, k := range j.known {
+		if k.Equal(code) {
+			return true
+		}
+	}
+	return false
+}
+
+// attack jams the frame on the channel if its code is known.
+func (j *chipJammer) attack(ch *Channel, frame chips.Sequence, off int, code chips.Sequence) {
+	if !j.knows(code) {
+		return
+	}
+	identifyBy := int(float64(frame.Len()) / (1 + e2eMu) * 0.9) // identified in time
+	ch.AddInverted(frame.Slice(identifyBy, frame.Len()), off+identifyBy)
+}
+
+// transmitFrame puts an RS-coded spread frame on a fresh channel and lets
+// the jammer react.
+func transmitFrame(t *testing.T, frame *Frame, jam *chipJammer, msg []byte, code chips.Sequence, off int) *Channel {
+	t.Helper()
+	sig, err := frame.Transmit(msg, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChannel(off + sig.Len() + 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Add(sig, off)
+	jam.attack(ch, sig, off, code)
+	return ch
+}
+
+func TestChipLevelDNDPEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	frame, err := NewFrame(e2eMu, e2eTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The authority: ID-based keys for A and B plus three pool codes —
+	// one shared (clean), one shared (compromised), one B-only.
+	auth, err := ibc.NewAuthority(ibc.AuthorityConfig{Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA, err := auth.Issue(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB, err := auth.Issue(20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedClean := chips.NewRandom(rng, e2eChipLen)
+	sharedDirty := chips.NewRandom(rng, e2eChipLen)
+	bOnly := chips.NewRandom(rng, e2eChipLen)
+	codesA := []chips.Sequence{sharedClean, sharedDirty}
+	codesB := []chips.Sequence{sharedClean, sharedDirty, bOnly}
+	jam := &chipJammer{known: []chips.Sequence{sharedDirty}}
+
+	// --- Message 1: A broadcasts HELLO on each of its codes. B scans with
+	// its own code set and must recover the copy on the clean shared code.
+	hello := []byte{0x01, 10} // {HELLO, ID_A}
+	decodedOn := -1
+	for _, code := range codesA {
+		ch := transmitFrame(t, frame, jam, hello, code, 300)
+		got, idx, _, err := frame.ReceiveScan(ch.Samples(), codesB, len(hello))
+		if err != nil {
+			continue // jammed copy
+		}
+		if !bytes.Equal(got, hello) {
+			t.Fatalf("corrupted HELLO decode: %v", got)
+		}
+		decodedOn = idx
+	}
+	if decodedOn != 0 {
+		t.Fatalf("HELLO decoded with code %d, want the clean shared code (0)", decodedOn)
+	}
+	// The copy on the compromised code must NOT decode.
+	chDirty := transmitFrame(t, frame, jam, hello, sharedDirty, 100)
+	if _, _, _, err := frame.ReceiveScan(chDirty.Samples(), []chips.Sequence{sharedDirty}, len(hello)); err == nil {
+		t.Fatal("jammed HELLO decoded despite >μ/(1+μ) corruption")
+	}
+
+	// --- Message 2: B CONFIRMs on the code the HELLO arrived on.
+	confirm := []byte{0x02, 20} // {CONFIRM, ID_B}
+	ch2 := transmitFrame(t, frame, jam, confirm, sharedClean, 500)
+	got2, _, _, err := frame.ReceiveScan(ch2.Samples(), codesA, len(confirm))
+	if err != nil {
+		t.Fatalf("A failed to receive CONFIRM: %v", err)
+	}
+	if !bytes.Equal(got2, confirm) {
+		t.Fatal("CONFIRM corrupted")
+	}
+
+	// --- Message 3: A → B {ID_A, n_A, f_K(ID_A|n_A)}.
+	kAB := keyA.SharedKey(20)
+	nA := []byte{0xAA, 0xBB, 0x01}
+	macA := ibc.MAC(kAB, 20, []byte{0, 10}, nA)
+	msg3 := append(append([]byte{0, 10}, nA...), macA...)
+	ch3 := transmitFrame(t, frame, jam, msg3, sharedClean, 700)
+	got3, _, _, err := frame.ReceiveScan(ch3.Samples(), codesB, len(msg3))
+	if err != nil {
+		t.Fatalf("B failed to receive AUTH1: %v", err)
+	}
+	kBA := keyB.SharedKey(10)
+	rxNA := got3[2:5]
+	if !ibc.VerifyMAC(kBA, got3[5:], got3[:2], rxNA) {
+		t.Fatal("B rejected a genuine AUTH1 MAC")
+	}
+
+	// --- Message 4: B → A {ID_B, n_B, f_K(ID_B|n_B)}.
+	nB := []byte{0xCC, 0xDD, 0x02}
+	macB := ibc.MAC(kBA, 20, []byte{0, 20}, nB)
+	msg4 := append(append([]byte{0, 20}, nB...), macB...)
+	ch4 := transmitFrame(t, frame, jam, msg4, sharedClean, 900)
+	got4, _, _, err := frame.ReceiveScan(ch4.Samples(), codesA, len(msg4))
+	if err != nil {
+		t.Fatalf("A failed to receive AUTH2: %v", err)
+	}
+	rxNB := got4[2:5]
+	if !ibc.VerifyMAC(kAB, got4[5:], got4[:2], rxNB) {
+		t.Fatal("A rejected a genuine AUTH2 MAC")
+	}
+
+	// --- Both endpoints derive the session spread code C_AB = h_K(n_A⊗n_B).
+	sessA, err := ibc.SessionCode(kAB, nA, rxNB, e2eChipLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessB, err := ibc.SessionCode(kBA, rxNA, nB, e2eChipLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sessA.Equal(sessB) {
+		t.Fatal("endpoints derived different session spread codes")
+	}
+
+	// --- The session code is unjammable: the jammer does not know it, so
+	// a frame spread with it sails through, and inverting a random wrong
+	// guess does nothing.
+	sessionMsg := []byte("over session code")
+	ch5 := transmitFrame(t, frame, jam, sessionMsg, sessA, 400)
+	// Jammer guesses a random code and jams with it anyway.
+	guess := chips.NewRandom(rng, e2eChipLen)
+	wrongJam, err := Spread(BytesToBits(make([]byte, len(sessionMsg)*2)), guess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch5.AddInverted(wrongJam, 400)
+	got5, _, _, err := frame.ReceiveScan(ch5.Samples(), []chips.Sequence{sessB}, len(sessionMsg))
+	if err != nil {
+		t.Fatalf("session-code frame lost to a guessing jammer: %v", err)
+	}
+	if !bytes.Equal(got5, sessionMsg) {
+		t.Fatal("session-code frame corrupted")
+	}
+}

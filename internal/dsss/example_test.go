@@ -1,0 +1,38 @@
+package dsss_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chips"
+	"repro/internal/dsss"
+)
+
+// The full §V-B message path: RS-code the message, spread it, put it on a
+// channel with a jamming burst under the μ/(1+μ) budget, synchronize by
+// sliding correlation, and decode.
+func ExampleFrame() {
+	rng := rand.New(rand.NewSource(1))
+	frame, _ := dsss.NewFrame(1.0, 0.15) // μ=1, τ=0.15
+	code := chips.NewRandom(rng, 512)
+
+	signal, _ := frame.Transmit([]byte("HELLO:A"), code)
+	ch, _ := dsss.NewChannel(1000 + signal.Len())
+	ch.Add(signal, 1000)
+	// A reactive jammer inverts the trailing 30% — under the 50% budget.
+	from := signal.Len() * 7 / 10
+	ch.AddInverted(signal.Slice(from, signal.Len()), 1000+from)
+
+	msg, _, off, err := frame.ReceiveScan(ch.Samples(), []chips.Sequence{code}, 7)
+	fmt.Printf("err=%v offset=%d msg=%s\n", err, off, msg)
+	// Output: err=<nil> offset=1000 msg=HELLO:A
+}
+
+// The buffering/processing schedule guarantees capture after (λ+1)·t_b of
+// repetition regardless of phase.
+func ExampleSchedule() {
+	s, _ := dsss.NewSchedule(0.0987, 1.112) // the Table I t_b and t_p
+	fmt.Printf("λ=%.1f capture budget=%.3fs captured=%v\n",
+		s.Lambda(), s.GuaranteedCapture(), s.CapturesWindow(0.4, s.GuaranteedCapture()))
+	// Output: λ=11.3 capture budget=1.211s captured=true
+}

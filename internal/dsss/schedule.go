@@ -1,0 +1,103 @@
+package dsss
+
+import "fmt"
+
+// Schedule models the §V-B buffering-and-processing schedule that bridges
+// the gap between receive and processing speed (λ = t_p/t_b ≫ 1): during
+// every interval [i·t_p, (i+1)·t_p] the node processes the signal it
+// buffered during [i·t_p − t_b, i·t_p] (deleting chips as they are
+// processed) and buffers fresh signal during [(i+1)·t_p − t_b, (i+1)·t_p].
+// With this schedule the buffer never holds more than t_b·R chips, and a
+// sender that repeats a message for (λ+1)·t_b is guaranteed to have a
+// complete copy land inside one buffering window.
+type Schedule struct {
+	tb float64 // buffering window length t_b (s)
+	tp float64 // processing period t_p (s)
+}
+
+// NewSchedule builds a schedule; requires 0 < tb <= tp (λ >= 1).
+func NewSchedule(tb, tp float64) (Schedule, error) {
+	if tb <= 0 {
+		return Schedule{}, fmt.Errorf("dsss: t_b=%v must be positive", tb)
+	}
+	if tp < tb {
+		return Schedule{}, fmt.Errorf("dsss: t_p=%v must be >= t_b=%v (λ >= 1)", tp, tb)
+	}
+	return Schedule{tb: tb, tp: tp}, nil
+}
+
+// TB returns the buffering window length.
+func (s Schedule) TB() float64 { return s.tb }
+
+// TP returns the processing period.
+func (s Schedule) TP() float64 { return s.tp }
+
+// Lambda returns λ = t_p/t_b.
+func (s Schedule) Lambda() float64 { return s.tp / s.tb }
+
+// Buffering reports whether the receiver is buffering at time t >= 0: the
+// buffering window of period i is the tail [(i+1)·t_p − t_b, (i+1)·t_p).
+func (s Schedule) Buffering(t float64) bool {
+	if t < 0 {
+		return false
+	}
+	frac := t - float64(int(t/s.tp))*s.tp
+	return frac >= s.tp-s.tb
+}
+
+// WindowAfter returns the first complete buffering window [start, end)
+// that begins at or after t.
+func (s Schedule) WindowAfter(t float64) (start, end float64) {
+	if t < 0 {
+		t = 0
+	}
+	i := int(t / s.tp)
+	for {
+		start = float64(i+1)*s.tp - s.tb
+		if start >= t {
+			return start, start + s.tb
+		}
+		i++
+	}
+}
+
+// GuaranteedCapture returns the transmission duration that guarantees a
+// complete buffering window falls inside the broadcast, no matter the
+// phase offset between sender and receiver: t_p + t_b = (λ+1)·t_b — the
+// §V-B repetition budget r·m·t_h.
+func (s Schedule) GuaranteedCapture() float64 { return s.tp + s.tb }
+
+// CapturesWindow reports whether a transmission spanning [start,
+// start+duration) fully contains some buffering window.
+func (s Schedule) CapturesWindow(start, duration float64) bool {
+	_, wEnd := s.WindowAfter(start)
+	return wEnd <= start+duration
+}
+
+// BufferOccupancy returns the fraction of the t_b-sized buffer in use at
+// time t under the schedule, assuming processing consumes chips linearly
+// over the processing period. It never exceeds 1 (the no-overflow claim of
+// §V-B).
+func (s Schedule) BufferOccupancy(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	frac := t - float64(int(t/s.tp))*s.tp
+	// Within a period: the previous window's chips are consumed linearly
+	// over [0, t_p]; the current window's chips arrive during
+	// [t_p − t_b, t_p].
+	remainingOld := 1 - frac/s.tp
+	if t < s.tp {
+		// During the first period there is no previously buffered window.
+		remainingOld = 0
+	}
+	var incoming float64
+	if frac >= s.tp-s.tb {
+		incoming = (frac - (s.tp - s.tb)) / s.tb
+	}
+	occ := remainingOld + incoming
+	if occ > 1 {
+		occ = 1 // clamp; analytically remainingOld+incoming <= 1 + t_b/t_p·ε
+	}
+	return occ
+}

@@ -1,0 +1,122 @@
+package dsss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(0, 1); err == nil {
+		t.Fatal("accepted t_b=0")
+	}
+	if _, err := NewSchedule(2, 1); err == nil {
+		t.Fatal("accepted t_p < t_b")
+	}
+	s, err := NewSchedule(0.1, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TB() != 0.1 || s.TP() != 1.1 {
+		t.Fatal("accessors wrong")
+	}
+	if got := s.Lambda(); got < 10.9 || got > 11.1 {
+		t.Fatalf("λ = %v, want 11", got)
+	}
+}
+
+func TestBufferingWindows(t *testing.T) {
+	s, _ := NewSchedule(1, 4) // windows [3,4), [7,8), [11,12) …
+	cases := []struct {
+		t    float64
+		want bool
+	}{
+		{-1, false}, {0, false}, {2.9, false}, {3.0, true}, {3.5, true},
+		{4.0, false}, {6.9, false}, {7.2, true}, {8.1, false},
+	}
+	for _, c := range cases {
+		if got := s.Buffering(c.t); got != c.want {
+			t.Errorf("Buffering(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestWindowAfter(t *testing.T) {
+	s, _ := NewSchedule(1, 4)
+	for _, c := range []struct {
+		t          float64
+		start, end float64
+	}{
+		{0, 3, 4}, {3, 3, 4}, {3.1, 7, 8}, {5, 7, 8}, {-2, 3, 4},
+	} {
+		start, end := s.WindowAfter(c.t)
+		if start != c.start || end != c.end {
+			t.Errorf("WindowAfter(%v) = [%v,%v), want [%v,%v)", c.t, start, end, c.start, c.end)
+		}
+	}
+}
+
+func TestGuaranteedCaptureIsTight(t *testing.T) {
+	s, _ := NewSchedule(1, 4)
+	if s.GuaranteedCapture() != 5 {
+		t.Fatalf("GuaranteedCapture = %v, want t_p+t_b = 5", s.GuaranteedCapture())
+	}
+	// Any start phase with the guaranteed duration captures a window…
+	for start := 0.0; start < 8; start += 0.097 {
+		if !s.CapturesWindow(start, s.GuaranteedCapture()) {
+			t.Fatalf("guaranteed duration missed a window at start %v", start)
+		}
+	}
+	// …and some phase with slightly less duration misses.
+	missed := false
+	for start := 0.0; start < 8; start += 0.097 {
+		if !s.CapturesWindow(start, s.GuaranteedCapture()-0.5) {
+			missed = true
+		}
+	}
+	if !missed {
+		t.Fatal("shorter duration never missed; the bound would not be tight")
+	}
+}
+
+func TestBufferNeverOverflows(t *testing.T) {
+	s, _ := NewSchedule(0.0987, 1.112) // the paper's default t_b, t_p
+	for tt := 0.0; tt < 12; tt += 0.001 {
+		occ := s.BufferOccupancy(tt)
+		if occ < 0 || occ > 1 {
+			t.Fatalf("occupancy %v at t=%v out of [0,1]", occ, tt)
+		}
+	}
+	if s.BufferOccupancy(-1) != 0 {
+		t.Fatal("negative time must have empty buffer")
+	}
+}
+
+// Property: for random schedules and phases, the §V-B repetition budget
+// always captures a complete buffering window, and occupancy stays in
+// [0, 1].
+func TestPropertyScheduleInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := 0.01 + rng.Float64()
+		tp := tb * (1 + rng.Float64()*20) // λ in [1, 21]
+		s, err := NewSchedule(tb, tp)
+		if err != nil {
+			return false
+		}
+		start := rng.Float64() * 5 * tp
+		if !s.CapturesWindow(start, s.GuaranteedCapture()) {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			occ := s.BufferOccupancy(rng.Float64() * 6 * tp)
+			if occ < 0 || occ > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

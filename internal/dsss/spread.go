@@ -1,0 +1,111 @@
+// Package dsss implements the chip-level DSSS physical layer of §III and
+// §V-B: spreading message bits with a spread code, de-spreading by
+// correlation against a threshold τ, the receiver's sliding-window
+// synchronization over a buffered multi-level chip stream, and a channel
+// model that superimposes concurrent transmissions (including jamming
+// signals) chip by chip.
+package dsss
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chips"
+)
+
+// Erased marks a de-spread bit whose correlation magnitude fell below τ
+// (neither a confident 1 nor a confident 0). Erased positions are handed to
+// the Reed–Solomon decoder as erasures.
+const Erased byte = 0xFF
+
+// ErrNoSignal is returned by Synchronize when no spread message is found in
+// the buffer.
+var ErrNoSignal = errors.New("dsss: no recognizable signal in buffer")
+
+// BytesToBits expands bytes MSB-first into a 0/1 slice.
+func BytesToBits(data []byte) []byte {
+	bits := make([]byte, 8*len(data))
+	for i, b := range data {
+		for j := 0; j < 8; j++ {
+			bits[8*i+j] = (b >> uint(7-j)) & 1
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs a 0/1 slice (MSB-first) into bytes. Its length must be
+// a multiple of 8, and no bit may be Erased.
+func BitsToBytes(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("dsss: bit count %d not a multiple of 8", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i := range out {
+		var b byte
+		for j := 0; j < 8; j++ {
+			v := bits[8*i+j]
+			if v == Erased {
+				return nil, fmt.Errorf("dsss: erased bit at position %d", 8*i+j)
+			}
+			b = b<<1 | (v & 1)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Spread multiplies each message bit by the spread code (§III): bit 1
+// transmits the code, bit 0 (NRZ −1) transmits its chip-wise inverse. The
+// result is the chip sequence of the whole message.
+func Spread(bits []byte, code chips.Sequence) (chips.Sequence, error) {
+	if code.Len() == 0 {
+		return chips.Sequence{}, errors.New("dsss: empty spread code")
+	}
+	if len(bits) == 0 {
+		return chips.Sequence{}, errors.New("dsss: empty message")
+	}
+	inv := code.Invert()
+	out := chips.New(0)
+	for i, b := range bits {
+		switch b {
+		case 1:
+			out = out.Append(code)
+		case 0:
+			out = out.Append(inv)
+		default:
+			return chips.Sequence{}, fmt.Errorf("dsss: bit %d has invalid value %d", i, b)
+		}
+	}
+	return out, nil
+}
+
+// DespreadAt de-spreads numBits message bits from the multi-level chip
+// buffer starting at chip offset off, using the given code and threshold
+// τ. Bits whose correlation magnitude is below τ come back as Erased, and
+// their indices are returned as erasures.
+func DespreadAt(buf []int32, off int, code chips.Sequence, tau float64, numBits int) (bits []byte, erasures []int, err error) {
+	n := code.Len()
+	if n == 0 {
+		return nil, nil, errors.New("dsss: empty spread code")
+	}
+	if tau <= 0 || tau >= 1 {
+		return nil, nil, fmt.Errorf("dsss: threshold τ=%v must be in (0,1)", tau)
+	}
+	if off < 0 || off+numBits*n > len(buf) {
+		return nil, nil, fmt.Errorf("dsss: window [%d, %d) out of buffer range [0, %d)", off, off+numBits*n, len(buf))
+	}
+	bits = make([]byte, numBits)
+	for i := 0; i < numBits; i++ {
+		corr := chips.CorrelateAt(code, buf, off+i*n)
+		switch {
+		case corr >= tau:
+			bits[i] = 1
+		case corr <= -tau:
+			bits[i] = 0
+		default:
+			bits[i] = Erased
+			erasures = append(erasures, i)
+		}
+	}
+	return bits, erasures, nil
+}

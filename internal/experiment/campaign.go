@@ -1,0 +1,386 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (§VI-B). The figure campaigns run the same Monte-Carlo
+// procedure as the authors' simulator: place n nodes on the field, run the
+// random code pre-distribution, compromise q random nodes, decide each
+// physical-neighbor pair's D-NDP outcome under the jamming model of
+// Theorem 1, then decide M-NDP outcomes over the resulting logical graph,
+// averaging over independent seeded runs. Latency is sampled from the
+// Theorem-2 delay model (which the event-driven protocol engine in
+// internal/core matches; see core's tests).
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/codepool"
+	"repro/internal/field"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// JammerModel selects the adversary for a campaign.
+type JammerModel int
+
+// Jammer models.
+const (
+	JamNone JammerModel = iota
+	JamRandom
+	JamReactive
+)
+
+func (j JammerModel) String() string {
+	switch j {
+	case JamNone:
+		return "none"
+	case JamRandom:
+		return "random"
+	case JamReactive:
+		return "reactive"
+	default:
+		return "unknown"
+	}
+}
+
+// PointConfig configures the measurement of one parameter point.
+type PointConfig struct {
+	Params analysis.Params
+	Jammer JammerModel
+	// Runs is the number of independent seeded repetitions (the paper
+	// averages 100 runs per point).
+	Runs int
+	Seed int64
+	// IterateMNDP repeats M-NDP rounds until no new logical edges appear
+	// (the paper's protocol runs periodically; a single round gives the
+	// Theorem-3 lower bound).
+	IterateMNDP bool
+	// DisableRedundancy models responders that pick a single shared code
+	// (ablation of the §V-B redundancy design).
+	DisableRedundancy bool
+}
+
+// PointMeasure aggregates one parameter point over all runs.
+type PointMeasure struct {
+	PD   float64 // D-NDP discovery probability over physical edges
+	PM   float64 // M-NDP discovery probability over physical edges
+	PHat float64 // JR-SND combined: discovered by either protocol
+	TD   float64 // mean D-NDP latency (s), Theorem-2 delay model sampled
+	TD50 float64 // median sampled D-NDP latency (s)
+	TD95 float64 // 95th-percentile sampled D-NDP latency (s)
+	TM   float64 // M-NDP latency (s), Theorem 4 with measured degree
+	TBar float64 // max(TD, TM)
+
+	// 95% Student-t confidence-interval half-widths of the per-run means.
+	PDCI   float64
+	PMCI   float64
+	PHatCI float64
+
+	AvgDegree        float64 // measured g
+	CompromisedCodes float64 // mean |compromised pool codes|
+	Edges            float64 // mean physical edges per run
+}
+
+// MeasurePoint runs the Monte-Carlo campaign for one parameter point.
+func MeasurePoint(cfg PointConfig) (PointMeasure, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return PointMeasure{}, fmt.Errorf("experiment: %w", err)
+	}
+	if cfg.Runs < 1 {
+		return PointMeasure{}, fmt.Errorf("experiment: Runs=%d must be >= 1", cfg.Runs)
+	}
+	// Runs are independent and individually seeded, so they execute in
+	// parallel; aggregation happens sequentially in run order, keeping the
+	// result bit-for-bit deterministic.
+	type runResult struct {
+		measure PointMeasure
+		tdSum   float64
+		tdCount int
+		tdHist  *stats.Histogram
+		err     error
+	}
+	results := make([]runResult, cfg.Runs)
+	// Latency histogram bounds: the Theorem-2 delay model is bounded by
+	// 3t_p + λt_h + transmissions + 2t_key; 3× the mean covers it.
+	histHi := 3 * analysis.DNDPLatency(cfg.Params)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range next {
+				hist, herr := stats.NewHistogram(0, histHi, 256)
+				if herr != nil {
+					results[run] = runResult{err: herr}
+					continue
+				}
+				one, tdS, tdC, err := measureOnce(cfg, cfg.Seed+int64(run)*7919, hist)
+				results[run] = runResult{measure: one, tdSum: tdS, tdCount: tdC, tdHist: hist, err: err}
+			}
+		}()
+	}
+	for run := 0; run < cfg.Runs; run++ {
+		next <- run
+	}
+	close(next)
+	wg.Wait()
+
+	var agg PointMeasure
+	var pd, pm, pHat stats.Sample
+	var tdSum float64
+	var tdCount int
+	merged, err := stats.NewHistogram(0, histHi, 256)
+	if err != nil {
+		return PointMeasure{}, err
+	}
+	for _, res := range results {
+		if res.err != nil {
+			return PointMeasure{}, res.err
+		}
+		one := res.measure
+		pd.Add(one.PD)
+		pm.Add(one.PM)
+		pHat.Add(one.PHat)
+		agg.AvgDegree += one.AvgDegree
+		agg.CompromisedCodes += one.CompromisedCodes
+		agg.Edges += one.Edges
+		tdSum += res.tdSum
+		tdCount += res.tdCount
+		merged.Merge(res.tdHist)
+	}
+	if merged.Count() > 0 {
+		agg.TD50 = merged.Quantile(0.5)
+		agg.TD95 = merged.Quantile(0.95)
+	}
+	r := float64(cfg.Runs)
+	agg.PD, agg.PDCI = pd.Mean(), pd.CI95()
+	agg.PM, agg.PMCI = pm.Mean(), pm.CI95()
+	agg.PHat, agg.PHatCI = pHat.Mean(), pHat.CI95()
+	agg.AvgDegree /= r
+	agg.CompromisedCodes /= r
+	agg.Edges /= r
+	if tdCount > 0 {
+		agg.TD = tdSum / float64(tdCount)
+	} else {
+		agg.TD = analysis.DNDPLatency(cfg.Params)
+	}
+	agg.TM = analysis.MNDPLatency(cfg.Params, cfg.Params.Nu, agg.AvgDegree)
+	agg.TBar = agg.TD
+	if agg.TM > agg.TBar {
+		agg.TBar = agg.TM
+	}
+	return agg, nil
+}
+
+// measureOnce runs a single seeded deployment. tdHist, when non-nil,
+// receives every sampled D-NDP latency.
+func measureOnce(cfg PointConfig, seed int64, tdHist *stats.Histogram) (PointMeasure, float64, int, error) {
+	p := cfg.Params
+	streams := sim.NewStreams(seed)
+
+	deploy, err := field.New(p.FieldWidth, p.FieldHeight)
+	if err != nil {
+		return PointMeasure{}, 0, 0, err
+	}
+	positions := deploy.PlaceUniform(streams.Get("placement"), p.N)
+	graph, err := field.PhysicalGraph(deploy, positions, p.Range)
+	if err != nil {
+		return PointMeasure{}, 0, 0, err
+	}
+
+	pool, err := codepool.New(codepool.Config{N: p.N, M: p.M, L: p.L, Rand: streams.Get("codepool")})
+	if err != nil {
+		return PointMeasure{}, 0, 0, err
+	}
+	compromisedNodes, compromised, err := pool.CompromiseRandom(streams.Get("compromise"), p.Q)
+	if err != nil {
+		return PointMeasure{}, 0, 0, err
+	}
+	isCompromised := make([]bool, p.N)
+	for _, i := range compromisedNodes {
+		isCompromised[i] = true
+	}
+
+	jammer, err := buildJammer(cfg, compromised, streams.Get("jammer"))
+	if err != nil {
+		return PointMeasure{}, 0, 0, err
+	}
+
+	// D-NDP outcome per physical edge.
+	type edge struct{ u, v int }
+	var edges []edge
+	logical := &field.Graph{Adj: make([][]int, p.N)}
+	dSucc := 0
+	redundancyRng := streams.Get("redundancy")
+	latRng := streams.Get("latency")
+	var tdSum float64
+	tdCount := 0
+	for u := 0; u < p.N; u++ {
+		if isCompromised[u] {
+			continue // compromised nodes do not run the honest protocol
+		}
+		for _, v := range graph.Adj[u] {
+			if v <= u || isCompromised[v] {
+				continue
+			}
+			edges = append(edges, edge{u, v})
+			shared := pool.Shared(u, v)
+			if dndpSucceeds(shared, jammer, cfg.DisableRedundancy, redundancyRng) {
+				dSucc++
+				logical.Adj[u] = append(logical.Adj[u], v)
+				logical.Adj[v] = append(logical.Adj[v], u)
+				sample := sampleDNDPLatency(p, latRng)
+				tdSum += sample
+				tdCount++
+				if tdHist != nil {
+					tdHist.Add(sample)
+				}
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return PointMeasure{}, 0, 0, fmt.Errorf("experiment: deployment produced no physical edges; increase density")
+	}
+
+	// M-NDP outcome per physical edge: an indirect logical path of at most
+	// ν hops (excluding the direct logical edge, if any).
+	mndpEdge := func(u, v int) bool {
+		_, ok := logical.HopDistance(u, v, p.Nu, true)
+		return ok
+	}
+	mSucc := 0
+	either := dSucc
+	newEdges := 0
+	for _, e := range edges {
+		direct := containsInt(logical.Adj[e.u], e.v)
+		if mndpEdge(e.u, e.v) {
+			mSucc++
+			if !direct {
+				either++
+				newEdges++
+			}
+		}
+	}
+	if cfg.IterateMNDP && newEdges > 0 {
+		// Close the logical graph under repeated M-NDP rounds.
+		for {
+			added := 0
+			for _, e := range edges {
+				if containsInt(logical.Adj[e.u], e.v) {
+					continue
+				}
+				if _, ok := logical.HopDistance(e.u, e.v, p.Nu, true); ok {
+					logical.Adj[e.u] = append(logical.Adj[e.u], e.v)
+					logical.Adj[e.v] = append(logical.Adj[e.v], e.u)
+					added++
+				}
+			}
+			if added == 0 {
+				break
+			}
+		}
+		either = 0
+		mSucc = 0
+		for _, e := range edges {
+			if containsInt(logical.Adj[e.u], e.v) {
+				either++
+			}
+			if _, ok := logical.HopDistance(e.u, e.v, p.Nu, true); ok {
+				mSucc++
+			}
+		}
+	}
+
+	total := float64(len(edges))
+	return PointMeasure{
+		PD:               float64(dSucc) / total,
+		PM:               float64(mSucc) / total,
+		PHat:             float64(either) / total,
+		AvgDegree:        graph.AvgDegree(),
+		CompromisedCodes: float64(compromised.Len()),
+		Edges:            total,
+	}, tdSum, tdCount, nil
+}
+
+func buildJammer(cfg PointConfig, compromised *codepool.CodeSet, rng *rand.Rand) (radio.Jammer, error) {
+	switch cfg.Jammer {
+	case JamNone:
+		return radio.NoJammer{}, nil
+	case JamReactive:
+		return radio.NewReactiveJammer(compromised), nil
+	case JamRandom:
+		return radio.NewRandomJammer(cfg.Params.Z, cfg.Params.Mu, compromised, rng)
+	default:
+		return nil, fmt.Errorf("experiment: unknown jammer model %d", cfg.Jammer)
+	}
+}
+
+// dndpSucceeds plays out the x sub-sessions of one D-NDP execution under
+// the message-level jamming model: a sub-session on code c survives when
+// the HELLO and all three follow-up messages escape jamming; the execution
+// succeeds when any sub-session survives (Theorem 1).
+func dndpSucceeds(shared []codepool.CodeID, jammer radio.Jammer, disableRedundancy bool, rng *rand.Rand) bool {
+	if len(shared) == 0 {
+		return false
+	}
+	// First the HELLOs: the responder can only use codes whose HELLO copy
+	// it actually decoded.
+	received := shared[:0:0]
+	for _, c := range shared {
+		if !jammer.TryJam(radio.Transmission{Code: c, Kind: 1}) {
+			received = append(received, c)
+		}
+	}
+	if len(received) == 0 {
+		return false
+	}
+	if disableRedundancy {
+		pick := received[rng.Intn(len(received))]
+		received = []codepool.CodeID{pick}
+	}
+	for _, c := range received {
+		if subSessionSurvives(c, jammer) {
+			return true
+		}
+	}
+	return false
+}
+
+// subSessionSurvives checks the three post-HELLO messages of one
+// sub-session.
+func subSessionSurvives(c codepool.CodeID, jammer radio.Jammer) bool {
+	for kind := 2; kind <= 4; kind++ {
+		if jammer.TryJam(radio.Transmission{Code: c, Kind: kind}) {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleDNDPLatency draws one latency sample from the Theorem-2 model:
+// three U[0,t_p] delays plus one U[0,λ·t_h] scan, the two authentication
+// airtimes, and two key computations.
+func sampleDNDPLatency(p analysis.Params, rng *rand.Rand) float64 {
+	tp := p.TProcess()
+	scan := p.Lambda() * p.THello()
+	delays := rng.Float64()*tp + rng.Float64()*tp + rng.Float64()*tp + rng.Float64()*scan
+	authTx := 2 * float64(p.ChipLen) * p.AuthBits() / p.ChipRate
+	return delays + authTx + 2*p.TKey
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

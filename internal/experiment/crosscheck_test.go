@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestCrossCheckEnginesAgree(t *testing.T) {
+	// The repository's central consistency claim: the pair-level campaign,
+	// the full event-driven protocol engine, and Theorem 1 all measure the
+	// same quantity.
+	p := analysis.Defaults()
+	p.N = 200
+	p.L = 20
+	p.Q = 5
+	p.M = 30
+	p.FieldWidth, p.FieldHeight = 1580, 1580
+	res, err := CrossCheck(p, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CampaignPD-res.TheoryPD) > 0.05 {
+		t.Fatalf("campaign %v vs theory %v", res.CampaignPD, res.TheoryPD)
+	}
+	if math.Abs(res.EventPD-res.TheoryPD) > 0.05 {
+		t.Fatalf("event engine %v vs theory %v", res.EventPD, res.TheoryPD)
+	}
+	if math.Abs(res.EventPD-res.CampaignPD) > 0.05 {
+		t.Fatalf("event engine %v vs campaign %v", res.EventPD, res.CampaignPD)
+	}
+}
+
+func TestCrossCheckValidation(t *testing.T) {
+	p := analysis.Defaults()
+	if _, err := CrossCheck(p, 0, 1); err == nil {
+		t.Fatal("accepted zero runs")
+	}
+	bad := p
+	bad.M = 0
+	if _, err := CrossCheck(bad, 1, 1); err == nil {
+		t.Fatal("accepted invalid params")
+	}
+}
+
+func TestCrossCheckFigureDefaults(t *testing.T) {
+	fig, err := CrossCheckFigure(analysis.Params{}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "ext-crosscheck" || len(fig.Series) != 3 {
+		t.Fatal("malformed figure")
+	}
+	for _, s := range fig.Series {
+		if s.Y[0] < 0 || s.Y[0] > 1 {
+			t.Fatalf("%s = %v out of range", s.Label, s.Y[0])
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/chips"
+	"repro/internal/codepool"
+	"repro/internal/core"
+	"repro/internal/dsss"
+	"repro/internal/field"
+	"repro/internal/sim"
+)
+
+// DSSSValidation sweeps the fraction of a frame jammed with the correct
+// spread code and measures chip-level decode success — validating the
+// μ/(1+μ) ECC tolerance claim of §V-B that the message-level jamming model
+// relies on.
+func DSSSValidation(seed int64, trialsPerPoint int) (Figure, error) {
+	if trialsPerPoint < 1 {
+		return Figure{}, fmt.Errorf("experiment: trialsPerPoint=%d must be >= 1", trialsPerPoint)
+	}
+	p := analysis.Defaults()
+	frame, err := dsss.NewFrame(p.Mu, p.Tau)
+	if err != nil {
+		return Figure{}, err
+	}
+	fractions := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.45, 0.55, 0.6, 0.7, 0.8}
+	success := Series{Label: "decode success rate", X: fractions, Y: make([]float64, len(fractions))}
+	rng := rand.New(rand.NewSource(seed))
+	const msgLen = 25 // ≈ the authentication message size in bytes
+	for fi, frac := range fractions {
+		ok := 0
+		for trial := 0; trial < trialsPerPoint; trial++ {
+			code := chips.NewRandom(rng, p.ChipLen)
+			msg := make([]byte, msgLen)
+			rng.Read(msg)
+			sig, err := frame.Transmit(msg, code)
+			if err != nil {
+				return Figure{}, err
+			}
+			ch, err := dsss.NewChannel(sig.Len())
+			if err != nil {
+				return Figure{}, err
+			}
+			ch.Add(sig, 0)
+			// Jam a contiguous burst of the given fraction with the
+			// correct code (the strongest per-chip attack).
+			jamChips := int(frac * float64(sig.Len()))
+			if jamChips > 0 {
+				start := rng.Intn(sig.Len() - jamChips + 1)
+				ch.AddInverted(sig.Slice(start, start+jamChips), start)
+			}
+			if got, err := frame.Receive(ch.Samples(), 0, code, msgLen); err == nil && string(got) == string(msg) {
+				ok++
+			}
+		}
+		success.Y[fi] = float64(ok) / float64(trialsPerPoint)
+	}
+	return Figure{
+		ID:     "dsss",
+		Title:  "Chip-level validation — frame decode vs same-code jam fraction (μ=1)",
+		XLabel: "jammed fraction of frame",
+		YLabel: "decode success rate",
+		Series: []Series{success},
+		Notes: []string{
+			"§V-B contract: frames survive jamming below μ/(1+μ) = 0.5 of the frame and die above it",
+		},
+	}, nil
+}
+
+// PredistributionComparison quantifies the paper's second contribution
+// claim — that its partition-based pre-distribution gives "fine control of
+// the damage from compromised spread codes" compared to the plain uniform
+// random pre-distribution of ref [11]. Both schemes are built at the same
+// density (same n, m, s); the figure reports the per-code holder-count cap
+// and tail, the resulting worst-case DoS exposure (holders−1)·(γ+1) per
+// code, and the (equivalent) pairwise sharing probability.
+func PredistributionComparison(base analysis.Params, seed int64) (Figure, error) {
+	if base.N == 0 {
+		base = analysis.Defaults()
+	}
+	if err := base.Validate(); err != nil {
+		return Figure{}, fmt.Errorf("experiment: %w", err)
+	}
+	streams := sim.NewStreams(seed)
+	structured, err := codepool.New(codepool.Config{
+		N: base.N, M: base.M, L: base.L, Rand: streams.Get("structured"),
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	uniform, err := codepool.NewUniform(codepool.Config{
+		N: base.N, M: base.M, Rand: streams.Get("uniform"),
+	}, structured.S())
+	if err != nil {
+		return Figure{}, err
+	}
+	shareRate := func(p *codepool.Pool) float64 {
+		rng := streams.Get("pairs")
+		pairs, shared := 0, 0
+		for i := 0; i < 4000; i++ {
+			a, b := rng.Intn(base.N), rng.Intn(base.N)
+			if a == b {
+				continue
+			}
+			pairs++
+			if len(p.Shared(a, b)) > 0 {
+				shared++
+			}
+		}
+		return float64(shared) / float64(pairs)
+	}
+	point := func(label string, v float64) Series {
+		return Series{Label: label, X: []float64{0}, Y: []float64{v}}
+	}
+	gammaCost := float64(base.Gamma + 1)
+	return Figure{
+		ID:    "ext-predistribution",
+		Title: "Extension — partition scheme (§V-A) vs uniform pre-distribution [11]",
+		Series: []Series{
+			point("structured: max holders per code", float64(structured.MaxHolders())),
+			point("uniform:    max holders per code", float64(uniform.MaxHolders())),
+			point("structured: p99 holders", float64(structured.HolderQuantile(0.99))),
+			point("uniform:    p99 holders", float64(uniform.HolderQuantile(0.99))),
+			point("structured: worst DoS exposure/code", float64(structured.MaxHolders()-1)*gammaCost),
+			point("uniform:    worst DoS exposure/code", float64(uniform.MaxHolders()-1)*gammaCost),
+			point("structured: Pr[share >= 1 code]", shareRate(structured)),
+			point("uniform:    Pr[share >= 1 code]", shareRate(uniform)),
+		},
+		Notes: []string{
+			"equal density: same n, m and pool size for both schemes",
+			"the partition scheme caps every code at exactly l holders; uniform drawing has a binomial tail",
+			"sharing probability (and hence discovery) is unaffected — the cap is free",
+		},
+	}, nil
+}
+
+// InterferenceValidation sweeps the number of concurrent foreign-code
+// transmissions superimposed on a frame and measures chip-level decode
+// success — validating the §IV-A assumption that "concurrent transmissions
+// spread with different pseudorandom codes interfere with each other with
+// negligible probability" for N = 512, and locating where it breaks down.
+func InterferenceValidation(seed int64, trialsPerPoint int) (Figure, error) {
+	if trialsPerPoint < 1 {
+		return Figure{}, fmt.Errorf("experiment: trialsPerPoint=%d must be >= 1", trialsPerPoint)
+	}
+	p := analysis.Defaults()
+	frame, err := dsss.NewFrame(p.Mu, p.Tau)
+	if err != nil {
+		return Figure{}, err
+	}
+	interferers := []float64{0, 4, 16, 64, 128, 256, 512, 1024}
+	success := Series{Label: "decode success rate", X: interferers, Y: make([]float64, len(interferers))}
+	rng := rand.New(rand.NewSource(seed))
+	const msgLen = 12
+	for ki, k := range interferers {
+		ok := 0
+		for trial := 0; trial < trialsPerPoint; trial++ {
+			code := chips.NewRandom(rng, p.ChipLen)
+			msg := make([]byte, msgLen)
+			rng.Read(msg)
+			sig, err := frame.Transmit(msg, code)
+			if err != nil {
+				return Figure{}, err
+			}
+			ch, err := dsss.NewChannel(sig.Len())
+			if err != nil {
+				return Figure{}, err
+			}
+			ch.Add(sig, 0)
+			for i := 0; i < int(k); i++ {
+				// Independent same-length foreign transmissions, fully
+				// overlapping — the worst alignment.
+				foreign := chips.NewRandom(rng, sig.Len())
+				ch.Add(foreign, 0)
+			}
+			if got, err := frame.Receive(ch.Samples(), 0, code, msgLen); err == nil && string(got) == string(msg) {
+				ok++
+			}
+		}
+		success.Y[ki] = float64(ok) / float64(trialsPerPoint)
+	}
+	return Figure{
+		ID:     "ext-noise",
+		Title:  "Chip-level validation — decode vs concurrent foreign transmissions (N=512, τ=0.15)",
+		XLabel: "concurrent foreign-code transmissions",
+		YLabel: "decode success rate",
+		Series: []Series{success},
+		Notes: []string{
+			"§IV-A assumes negligible cross-code interference at N=512; the curve locates the breakdown",
+			"correlation noise grows as √(k/N): erasures appear once √(k/512) nears 1−τ",
+		},
+	}, nil
+}
+
+// GoldComparison contrasts the paper's unstructured pseudorandom codes
+// with classical Gold codes of comparable length (degree 9 → N = 511 vs
+// the paper's N = 512): the worst pairwise cross-correlation over the
+// family, and the rate at which a receiver scanning for its own codes
+// falsely locks onto foreign traffic at the paper's τ = 0.15. Gold codes
+// carry a hard bound t(9)/511 ≈ 0.065 < τ, so their false-lock rate is
+// structurally zero at chip alignment.
+func GoldComparison(seed int64, familySize, trials int) (Figure, error) {
+	if familySize < 2 || trials < 1 {
+		return Figure{}, fmt.Errorf("experiment: need familySize >= 2 and trials >= 1")
+	}
+	const degree = 9
+	gold, err := chips.GoldFamily(degree, familySize)
+	if err != nil {
+		return Figure{}, err
+	}
+	n := gold[0].Len()
+	rng := rand.New(rand.NewSource(seed))
+	random := make([]chips.Sequence, familySize)
+	for i := range random {
+		random[i] = chips.NewRandom(rng, n)
+	}
+
+	maxAbsCorr := func(family []chips.Sequence) float64 {
+		worst := 0.0
+		for i := 0; i < len(family); i++ {
+			for j := i + 1; j < len(family); j++ {
+				c, err := chips.Correlate(family[i], family[j])
+				if err != nil {
+					continue
+				}
+				if c < 0 {
+					c = -c
+				}
+				if c > worst {
+					worst = c
+				}
+			}
+		}
+		return worst
+	}
+
+	// False-lock: a receiver holding family[0] watches trials of foreign
+	// single-bit transmissions (other family members) at chip alignment
+	// and counts |corr| >= τ.
+	const tau = 0.15
+	falseLock := func(family []chips.Sequence) float64 {
+		locks := 0
+		for trial := 0; trial < trials; trial++ {
+			foreign := family[1+rng.Intn(len(family)-1)]
+			tx := foreign
+			if rng.Intn(2) == 0 {
+				tx = foreign.Invert()
+			}
+			c, err := chips.Correlate(family[0], tx)
+			if err != nil {
+				continue
+			}
+			if c >= tau || c <= -tau {
+				locks++
+			}
+		}
+		return float64(locks) / float64(trials)
+	}
+
+	point := func(label string, v float64) Series {
+		return Series{Label: label, X: []float64{0}, Y: []float64{v}}
+	}
+	return Figure{
+		ID:    "ext-gold",
+		Title: "Extension — pseudorandom vs Gold spreading codes (N≈512, τ=0.15)",
+		Series: []Series{
+			point("random: max |cross-corr|", maxAbsCorr(random)),
+			point("gold:   max |cross-corr|", maxAbsCorr(gold)),
+			point("gold bound t(9)/511", chips.GoldBound(degree)),
+			point("random: false-lock rate", falseLock(random)),
+			point("gold:   false-lock rate", falseLock(gold)),
+		},
+		Notes: []string{
+			"Gold cross-correlation is bounded below τ by construction; random codes only statistically",
+			"the paper assumes unstructured random codes (s ≪ 2^N keeps them secret); Gold codes trade secrecy structure for guaranteed separation",
+		},
+	}, nil
+}
+
+// DoSExperiment measures the verification work a compromised-code DoS
+// attacker can force, with and without the §V-D revocation defence,
+// demonstrating the (l−1)·γ bound.
+func DoSExperiment(seed int64, rounds int) (Figure, error) {
+	run := func(gamma int) (core.DoSReport, error) {
+		p := analysis.Defaults()
+		p.N = 12
+		p.M = 6
+		p.L = 12
+		p.Q = 0
+		p.Gamma = gamma
+		p.FieldWidth, p.FieldHeight = 1000, 1000
+		positions := make([]field.Point, p.N)
+		for i := range positions {
+			positions[i] = field.Point{X: 100 + float64(i%4)*50, Y: 100 + float64(i/4)*50}
+		}
+		net, err := core.NewNetwork(core.NetworkConfig{
+			Params:    p,
+			Seed:      seed,
+			Jammer:    core.JamNone,
+			Positions: positions,
+		})
+		if err != nil {
+			return core.DoSReport{}, err
+		}
+		attacker := p.N - 1
+		if err := net.Compromise([]int{attacker}); err != nil {
+			return core.DoSReport{}, err
+		}
+		return net.RunDoSAttack(attacker, rounds)
+	}
+	noDefense, err := run(1 << 20) // effectively no revocation
+	if err != nil {
+		return Figure{}, err
+	}
+	const gamma = 5
+	withDefense, err := run(gamma)
+	if err != nil {
+		return Figure{}, err
+	}
+	point := func(label string, v float64) Series {
+		return Series{Label: label, X: []float64{0}, Y: []float64{v}}
+	}
+	return Figure{
+		ID:    "dos",
+		Title: "DoS resilience (§V-D) — forced verifications with and without revocation",
+		Series: []Series{
+			point("injected messages", float64(noDefense.Injected)),
+			point("verifications, no revocation", float64(noDefense.MACVerifications)),
+			point("verifications, gamma=5", float64(withDefense.MACVerifications)),
+			point("revoked codes, gamma=5", float64(withDefense.RevokedCodes)),
+		},
+		Notes: []string{
+			"with revocation each compromised code costs each victim at most γ+1 verifications",
+			"the network-wide bound per code is (l−1)·γ (§V-D)",
+		},
+	}, nil
+}

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Print renders a figure as an aligned text table: one row per X value,
+// one column per series.
+func Print(w io.Writer, f Figure) error {
+	if _, err := fmt.Fprintf(w, "== %s [%s]\n", f.Title, f.ID); err != nil {
+		return err
+	}
+	if len(f.Series) == 0 {
+		_, err := fmt.Fprintln(w, "(empty)")
+		return err
+	}
+	// Parameter-style tables (single X per series) print label: value.
+	if len(f.Series[0].X) == 1 && f.XLabel == "" {
+		for _, s := range f.Series {
+			if _, err := fmt.Fprintf(w, "  %-22s %v\n", s.Label, trimFloat(s.Y[0])); err != nil {
+				return err
+			}
+		}
+		return printNotes(w, f.Notes)
+	}
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for i := range f.Series[0].X {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, trimFloat(f.Series[0].X[i]))
+		for _, s := range f.Series {
+			row = append(row, trimFloat(s.Y[i]))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(fmt.Sprintf("%-*s", widths[c], cell))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return printNotes(w, f.Notes)
+}
+
+// WriteCSV emits the figure as CSV: a header row of x-label plus series
+// labels, then one row per X value. Parameter-style tables become
+// label,value pairs.
+func WriteCSV(w io.Writer, f Figure) error {
+	if len(f.Series) == 0 {
+		return nil
+	}
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	if len(f.Series[0].X) == 1 && f.XLabel == "" {
+		for _, s := range f.Series {
+			if _, err := fmt.Fprintf(w, "%s,%v\n", esc(s.Label), s.Y[0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cols := make([]string, 0, len(f.Series)+1)
+	cols = append(cols, esc(f.XLabel))
+	for _, s := range f.Series {
+		cols = append(cols, esc(s.Label))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range f.Series[0].X {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, fmt.Sprintf("%v", f.Series[0].X[i]))
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%v", s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printNotes(w io.Writer, notes []string) error {
+	for _, n := range notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e9 && v > -1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v != 0 && (v < 1e-3 || v >= 1e7) {
+		return fmt.Sprintf("%.3e", v)
+	}
+	return fmt.Sprintf("%.4f", v)
+}

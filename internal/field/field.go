@@ -1,0 +1,71 @@
+// Package field provides the 2-D deployment geometry of the simulated
+// MANET: uniform node placement on a rectangular field, a grid-bucketed
+// spatial index for O(1) expected-time range queries, random-waypoint
+// mobility, and physical-neighbor graph construction (two nodes are
+// physical neighbors when they lie within transmission range — §V of the
+// paper).
+package field
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a position in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Field is a rectangular deployment area.
+type Field struct {
+	Width, Height float64
+}
+
+// New creates a field of the given dimensions in meters.
+func New(width, height float64) (Field, error) {
+	if width <= 0 || height <= 0 {
+		return Field{}, fmt.Errorf("field: invalid dimensions %vx%v", width, height)
+	}
+	return Field{Width: width, Height: height}, nil
+}
+
+// RandomPoint samples a uniform point on the field.
+func (f Field) RandomPoint(rng *rand.Rand) Point {
+	return Point{X: rng.Float64() * f.Width, Y: rng.Float64() * f.Height}
+}
+
+// PlaceUniform samples n independent uniform positions.
+func (f Field) PlaceUniform(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = f.RandomPoint(rng)
+	}
+	return pts
+}
+
+// Contains reports whether p lies on the field (inclusive).
+func (f Field) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= f.Width && p.Y >= 0 && p.Y <= f.Height
+}
+
+// Clamp projects p onto the field.
+func (f Field) Clamp(p Point) Point {
+	return Point{X: clamp(p.X, 0, f.Width), Y: clamp(p.Y, 0, f.Height)}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

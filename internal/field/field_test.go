@@ -1,0 +1,262 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustField(t *testing.T, w, h float64) Field {
+	t.Helper()
+	f, err := New(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewRejectsBadDimensions(t *testing.T) {
+	for _, dims := range [][2]float64{{0, 10}, {10, 0}, {-5, 10}} {
+		if _, err := New(dims[0], dims[1]); err == nil {
+			t.Errorf("New(%v, %v) accepted invalid dimensions", dims[0], dims[1])
+		}
+	}
+}
+
+func TestRandomPointInside(t *testing.T) {
+	f := mustField(t, 5000, 5000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if p := f.RandomPoint(rng); !f.Contains(p) {
+			t.Fatalf("RandomPoint produced %v outside the field", p)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	f := mustField(t, 100, 50)
+	got := f.Clamp(Point{X: -3, Y: 70})
+	if got != (Point{X: 0, Y: 50}) {
+		t.Fatalf("Clamp = %v, want {0 50}", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := (Point{0, 0}).Dist(Point{3, 4}); d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	f := mustField(t, 1000, 1000)
+	rng := rand.New(rand.NewSource(2))
+	pts := f.PlaceUniform(rng, 300)
+	const r = 120.0
+	grid, err := NewGrid(f, pts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		got := map[int]bool{}
+		for _, j := range grid.WithinRange(nil, i) {
+			got[j] = true
+		}
+		for j := range pts {
+			want := i != j && pts[i].Dist(pts[j]) <= r
+			if got[j] != want {
+				t.Fatalf("node %d vs %d: grid=%v brute=%v", i, j, got[j], want)
+			}
+		}
+	}
+}
+
+func TestGridRejectsBadRadius(t *testing.T) {
+	f := mustField(t, 10, 10)
+	if _, err := NewGrid(f, nil, 0); err == nil {
+		t.Fatal("NewGrid accepted zero radius")
+	}
+}
+
+func TestPhysicalGraphSymmetricAndIrreflexive(t *testing.T) {
+	f := mustField(t, 2000, 2000)
+	rng := rand.New(rand.NewSource(3))
+	pts := f.PlaceUniform(rng, 200)
+	g, err := PhysicalGraph(f, pts, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjSet := make([]map[int]bool, len(pts))
+	for i, nbrs := range g.Adj {
+		adjSet[i] = map[int]bool{}
+		for _, j := range nbrs {
+			if j == i {
+				t.Fatalf("node %d adjacent to itself", i)
+			}
+			adjSet[i][j] = true
+		}
+	}
+	for i := range pts {
+		for j := range adjSet[i] {
+			if !adjSet[j][i] {
+				t.Fatalf("edge %d→%d not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestAvgDegreeMatchesDensity(t *testing.T) {
+	// Expected degree ≈ n·π·r²/Area away from boundary effects; with
+	// r=300 on 5000×5000 and n=2000 the paper's g ≈ 20-23.
+	f := mustField(t, 5000, 5000)
+	rng := rand.New(rand.NewSource(4))
+	pts := f.PlaceUniform(rng, 2000)
+	g, err := PhysicalGraph(f, pts, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.AvgDegree()
+	ideal := 2000 * math.Pi * 300 * 300 / (5000 * 5000) // ≈ 22.6 without border effects
+	if got < ideal*0.80 || got > ideal*1.02 {
+		t.Fatalf("AvgDegree = %v, want within [%.1f, %.1f]", got, ideal*0.80, ideal*1.02)
+	}
+}
+
+func TestBFSWithinAndHopDistance(t *testing.T) {
+	// Path graph 0-1-2-3-4 plus a chord 0-4.
+	g := &Graph{Adj: [][]int{
+		{1, 4}, {0, 2}, {1, 3}, {2, 4}, {3, 0},
+	}}
+	dist := g.BFSWithin(0, 2)
+	want := map[int]int{0: 0, 1: 1, 4: 1, 2: 2, 3: 2}
+	if len(dist) != len(want) {
+		t.Fatalf("BFSWithin = %v, want %v", dist, want)
+	}
+	for k, v := range want {
+		if dist[k] != v {
+			t.Fatalf("BFSWithin[%d] = %d, want %d", k, dist[k], v)
+		}
+	}
+	if h, ok := g.HopDistance(0, 4, 5, false); !ok || h != 1 {
+		t.Fatalf("HopDistance(0,4) = %d,%v, want 1,true", h, ok)
+	}
+	// Excluding the direct edge, 0→4 goes through 1-2-3.
+	if h, ok := g.HopDistance(0, 4, 5, true); !ok || h != 4 {
+		t.Fatalf("HopDistance(0,4, excludeDirect) = %d,%v, want 4,true", h, ok)
+	}
+	if _, ok := g.HopDistance(0, 4, 3, true); ok {
+		t.Fatal("HopDistance found a path beyond the hop cap")
+	}
+	if h, ok := g.HopDistance(2, 2, 1, false); !ok || h != 0 {
+		t.Fatalf("HopDistance(self) = %d,%v, want 0,true", h, ok)
+	}
+}
+
+func TestHopDistanceUnreachable(t *testing.T) {
+	g := &Graph{Adj: [][]int{{1}, {0}, {}}}
+	if _, ok := g.HopDistance(0, 2, 10, false); ok {
+		t.Fatal("found a path to a disconnected node")
+	}
+}
+
+func TestWaypointStaysInFieldAndMoves(t *testing.T) {
+	f := mustField(t, 1000, 1000)
+	rng := rand.New(rand.NewSource(5))
+	initial := f.PlaceUniform(rng, 50)
+	w, err := NewWaypoint(WaypointConfig{
+		Field: f, MinSpeed: 1, MaxSpeed: 10, Pause: 2, Rand: rng,
+	}, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for step := 0; step < 200; step++ {
+		w.Step(1.0)
+		for i := 0; i < w.Len(); i++ {
+			p := w.Position(i)
+			if !f.Contains(p) {
+				t.Fatalf("step %d: node %d left the field: %v", step, i, p)
+			}
+			if p != initial[i] {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("no node moved in 200 s")
+	}
+}
+
+func TestWaypointSpeedBound(t *testing.T) {
+	f := mustField(t, 1000, 1000)
+	rng := rand.New(rand.NewSource(6))
+	initial := f.PlaceUniform(rng, 20)
+	w, err := NewWaypoint(WaypointConfig{
+		Field: f, MinSpeed: 2, MaxSpeed: 5, Pause: 0, Rand: rng,
+	}, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := w.Positions()
+	for step := 0; step < 100; step++ {
+		const dt = 0.5
+		w.Step(dt)
+		for i := 0; i < w.Len(); i++ {
+			d := prev[i].Dist(w.Position(i))
+			if d > 5*dt+1e-9 {
+				t.Fatalf("node %d moved %v m in %v s (max speed 5)", i, d, dt)
+			}
+		}
+		prev = w.Positions()
+	}
+}
+
+func TestWaypointValidation(t *testing.T) {
+	f := mustField(t, 10, 10)
+	rng := rand.New(rand.NewSource(7))
+	if _, err := NewWaypoint(WaypointConfig{Field: f, MinSpeed: 1, MaxSpeed: 2, Rand: nil}, nil); err == nil {
+		t.Fatal("accepted nil Rand")
+	}
+	if _, err := NewWaypoint(WaypointConfig{Field: f, MinSpeed: 0, MaxSpeed: 2, Rand: rng}, nil); err == nil {
+		t.Fatal("accepted zero MinSpeed")
+	}
+	if _, err := NewWaypoint(WaypointConfig{Field: f, MinSpeed: 3, MaxSpeed: 2, Rand: rng}, nil); err == nil {
+		t.Fatal("accepted MaxSpeed < MinSpeed")
+	}
+	if _, err := NewWaypoint(WaypointConfig{Field: f, MinSpeed: 1, MaxSpeed: 2, Pause: -1, Rand: rng}, nil); err == nil {
+		t.Fatal("accepted negative pause")
+	}
+	if _, err := NewWaypoint(WaypointConfig{Field: f, MinSpeed: 1, MaxSpeed: 2, Rand: rng},
+		[]Point{{X: 100, Y: 100}}); err == nil {
+		t.Fatal("accepted out-of-field initial position")
+	}
+}
+
+// Property: grid range queries agree with brute force for random layouts.
+func TestPropertyGridEquivalence(t *testing.T) {
+	f := mustField(t, 500, 500)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := f.PlaceUniform(rng, 60)
+		const r = 80.0
+		grid, err := NewGrid(f, pts, r)
+		if err != nil {
+			return false
+		}
+		i := rng.Intn(len(pts))
+		got := map[int]bool{}
+		for _, j := range grid.WithinRange(nil, i) {
+			got[j] = true
+		}
+		for j := range pts {
+			want := i != j && pts[i].Dist(pts[j]) <= r
+			if got[j] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package field
+
+import "fmt"
+
+// Grid is a spatial index bucketing node positions into square cells of
+// side equal to the query radius, so a range query inspects at most the
+// 3×3 surrounding cells.
+type Grid struct {
+	field    Field
+	cellSize float64
+	cols     int
+	rows     int
+	cells    [][]int // node indices per cell
+	pos      []Point
+}
+
+// NewGrid indexes the given positions for range queries of radius r.
+func NewGrid(f Field, positions []Point, r float64) (*Grid, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("field: query radius %v must be positive", r)
+	}
+	cols := int(f.Width/r) + 1
+	rows := int(f.Height/r) + 1
+	g := &Grid{
+		field:    f,
+		cellSize: r,
+		cols:     cols,
+		rows:     rows,
+		cells:    make([][]int, cols*rows),
+		pos:      make([]Point, len(positions)),
+	}
+	copy(g.pos, positions)
+	for i, p := range g.pos {
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], i)
+	}
+	return g, nil
+}
+
+func (g *Grid) cellOf(p Point) int {
+	cx := int(p.X / g.cellSize)
+	cy := int(p.Y / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Len returns the number of indexed nodes.
+func (g *Grid) Len() int { return len(g.pos) }
+
+// Position returns the indexed position of node i.
+func (g *Grid) Position(i int) Point { return g.pos[i] }
+
+// WithinRange appends to dst the indices of all nodes within distance r of
+// node i (excluding i itself), where r is the radius the grid was built
+// with, and returns the extended slice.
+func (g *Grid) WithinRange(dst []int, i int) []int {
+	p := g.pos[i]
+	cx := int(p.X / g.cellSize)
+	cy := int(p.Y / g.cellSize)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			x, y := cx+dx, cy+dy
+			if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
+				continue
+			}
+			for _, j := range g.cells[y*g.cols+x] {
+				if j != i && p.Dist(g.pos[j]) <= g.cellSize {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Graph is an undirected adjacency-list graph over node indices.
+type Graph struct {
+	Adj [][]int
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.Adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// AvgDegree returns the mean number of neighbors per node (the paper's g).
+func (g *Graph) AvgDegree() float64 {
+	if len(g.Adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(len(g.Adj))
+}
+
+// PhysicalGraph builds the physical-neighbor graph: an edge joins every
+// pair of nodes within transmission range r.
+func PhysicalGraph(f Field, positions []Point, r float64) (*Graph, error) {
+	grid, err := NewGrid(f, positions, r)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{Adj: make([][]int, len(positions))}
+	for i := range positions {
+		g.Adj[i] = grid.WithinRange(nil, i)
+	}
+	return g, nil
+}
+
+// BFSWithin returns, for every node reachable from src in at most maxHops
+// hops, its hop distance. The src itself maps to 0.
+func (g *Graph) BFSWithin(src, maxHops int) map[int]int {
+	dist := map[int]int{src: 0}
+	frontier := []int{src}
+	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range g.Adj[u] {
+				if _, seen := dist[v]; !seen {
+					dist[v] = hop
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// HopDistance returns the hop distance from src to dst, capped at maxHops;
+// ok is false when dst is unreachable within the cap. The direct edge
+// (src,dst), if present, may be excluded — M-NDP looks for an *indirect*
+// path between two physical neighbors.
+func (g *Graph) HopDistance(src, dst, maxHops int, excludeDirect bool) (int, bool) {
+	if src == dst {
+		return 0, true
+	}
+	visited := make(map[int]bool, 64)
+	visited[src] = true
+	frontier := []int{src}
+	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range g.Adj[u] {
+				if excludeDirect && u == src && v == dst {
+					continue
+				}
+				if v == dst {
+					return hop, true
+				}
+				if !visited[v] {
+					visited[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return 0, false
+}

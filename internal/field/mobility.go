@@ -1,0 +1,126 @@
+package field
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Waypoint implements the random-waypoint mobility model: each node picks a
+// uniform destination and a uniform speed in [MinSpeed, MaxSpeed], travels
+// there in a straight line, pauses for Pause seconds, and repeats. It is
+// the standard MANET mobility model and drives the "node encounters are
+// unpredictable / may last only a short while" premise of the paper's
+// introduction.
+type Waypoint struct {
+	field    Field
+	minSpeed float64
+	maxSpeed float64
+	pause    float64
+	rng      *rand.Rand
+
+	pos    []Point
+	dest   []Point
+	speed  []float64
+	paused []float64 // remaining pause time
+}
+
+// WaypointConfig configures the mobility model.
+type WaypointConfig struct {
+	Field              Field
+	MinSpeed, MaxSpeed float64 // m/s; MinSpeed > 0 avoids the speed-decay pathology
+	Pause              float64 // seconds
+	Rand               *rand.Rand
+}
+
+// NewWaypoint creates the model with nodes at the given initial positions.
+func NewWaypoint(cfg WaypointConfig, initial []Point) (*Waypoint, error) {
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("field: WaypointConfig.Rand must be set")
+	}
+	if cfg.MinSpeed <= 0 || cfg.MaxSpeed < cfg.MinSpeed {
+		return nil, fmt.Errorf("field: invalid speed range [%v, %v]", cfg.MinSpeed, cfg.MaxSpeed)
+	}
+	if cfg.Pause < 0 {
+		return nil, fmt.Errorf("field: negative pause %v", cfg.Pause)
+	}
+	w := &Waypoint{
+		field:    cfg.Field,
+		minSpeed: cfg.MinSpeed,
+		maxSpeed: cfg.MaxSpeed,
+		pause:    cfg.Pause,
+		rng:      cfg.Rand,
+		pos:      make([]Point, len(initial)),
+		dest:     make([]Point, len(initial)),
+		speed:    make([]float64, len(initial)),
+		paused:   make([]float64, len(initial)),
+	}
+	copy(w.pos, initial)
+	for i := range w.pos {
+		if !cfg.Field.Contains(w.pos[i]) {
+			return nil, fmt.Errorf("field: initial position %d (%v) outside the field", i, w.pos[i])
+		}
+		w.pickLeg(i)
+	}
+	return w, nil
+}
+
+func (w *Waypoint) pickLeg(i int) {
+	w.dest[i] = w.field.RandomPoint(w.rng)
+	w.speed[i] = w.minSpeed + w.rng.Float64()*(w.maxSpeed-w.minSpeed)
+}
+
+// Len returns the number of nodes.
+func (w *Waypoint) Len() int { return len(w.pos) }
+
+// Position returns node i's current position.
+func (w *Waypoint) Position(i int) Point { return w.pos[i] }
+
+// Positions returns a copy of all current positions.
+func (w *Waypoint) Positions() []Point {
+	out := make([]Point, len(w.pos))
+	copy(out, w.pos)
+	return out
+}
+
+// Step advances every node by dt seconds.
+func (w *Waypoint) Step(dt float64) {
+	for i := range w.pos {
+		w.stepNode(i, dt)
+	}
+}
+
+func (w *Waypoint) stepNode(i int, dt float64) {
+	for dt > 0 {
+		if w.paused[i] > 0 {
+			if w.paused[i] >= dt {
+				w.paused[i] -= dt
+				return
+			}
+			dt -= w.paused[i]
+			w.paused[i] = 0
+			w.pickLeg(i)
+			continue
+		}
+		d := w.pos[i].Dist(w.dest[i])
+		travel := w.speed[i] * dt
+		if travel < d {
+			frac := travel / d
+			w.pos[i] = Point{
+				X: w.pos[i].X + (w.dest[i].X-w.pos[i].X)*frac,
+				Y: w.pos[i].Y + (w.dest[i].Y-w.pos[i].Y)*frac,
+			}
+			return
+		}
+		// Arrive and pause.
+		if w.speed[i] > 0 {
+			dt -= d / w.speed[i]
+		} else {
+			dt = 0
+		}
+		w.pos[i] = w.dest[i]
+		w.paused[i] = w.pause
+		if w.pause == 0 {
+			w.pickLeg(i)
+		}
+	}
+}

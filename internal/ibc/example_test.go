@@ -1,0 +1,48 @@
+package ibc_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ibc"
+)
+
+// Non-interactive pairwise keys: each node derives K_AB from its own
+// private key and the peer's ID alone — no message exchange needed.
+func ExamplePrivateKey_SharedKey() {
+	auth, _ := ibc.NewAuthority(ibc.AuthorityConfig{Rand: rand.New(rand.NewSource(1))})
+	alice, _ := auth.Issue(10, rand.New(rand.NewSource(2)))
+	bob, _ := auth.Issue(20, rand.New(rand.NewSource(3)))
+
+	kAB := alice.SharedKey(20)
+	kBA := bob.SharedKey(10)
+	fmt.Println("keys agree:", kAB == kBA)
+	// Output: keys agree: true
+}
+
+// ID-verifiable signatures: verification needs only the authority's root
+// key and the claimed signer ID.
+func ExampleVerify() {
+	auth, _ := ibc.NewAuthority(ibc.AuthorityConfig{Rand: rand.New(rand.NewSource(1))})
+	alice, _ := auth.Issue(10, rand.New(rand.NewSource(2)))
+
+	sig := alice.Sign([]byte("m-ndp request"))
+	err := ibc.Verify(auth.RootPublicKey(), 10, []byte("m-ndp request"), sig)
+	forged := ibc.Verify(auth.RootPublicKey(), 11, []byte("m-ndp request"), sig)
+	fmt.Printf("genuine=%v forged rejected=%v\n", err == nil, forged != nil)
+	// Output: genuine=true forged rejected=true
+}
+
+// Both endpoints derive the same session spread code from the pairwise key
+// and the exchanged nonces.
+func ExampleSessionCode() {
+	auth, _ := ibc.NewAuthority(ibc.AuthorityConfig{Rand: rand.New(rand.NewSource(1))})
+	alice, _ := auth.Issue(10, rand.New(rand.NewSource(2)))
+	bob, _ := auth.Issue(20, rand.New(rand.NewSource(3)))
+
+	nA, nB := []byte{1, 2, 3}, []byte{4, 5, 6}
+	cAB, _ := ibc.SessionCode(alice.SharedKey(20), nA, nB, 512)
+	cBA, _ := ibc.SessionCode(bob.SharedKey(10), nB, nA, 512)
+	fmt.Println("session codes agree:", cAB.Equal(cBA))
+	// Output: session codes agree: true
+}

@@ -1,0 +1,295 @@
+package ibc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestAuthority(t *testing.T, seed int64) *Authority {
+	t.Helper()
+	a, err := NewAuthority(AuthorityConfig{CollusionThreshold: 8, Rand: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func issue(t *testing.T, a *Authority, id NodeID, seed int64) *PrivateKey {
+	t.Helper()
+	k, err := a.Issue(id, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestMulModAgainstBigArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a := rng.Uint64() & blomPrime
+		b := rng.Uint64() & blomPrime
+		if a == blomPrime {
+			a = 0
+		}
+		if b == blomPrime {
+			b = 0
+		}
+		// Reference via 128-bit decomposition using smaller chunks.
+		want := refMulMod(a, b)
+		if got := mulMod(a, b); got != want {
+			t.Fatalf("mulMod(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+// refMulMod computes a*b mod 2^61-1 by splitting a into 31-bit halves.
+func refMulMod(a, b uint64) uint64 {
+	const p = blomPrime
+	lo := a & ((1 << 31) - 1)
+	hi := a >> 31
+	// a*b = hi*2^31*b + lo*b; compute each term mod p with 64-bit safety by
+	// iterated doubling of small pieces.
+	res := mulSmall(hi, b)
+	for i := 0; i < 31; i++ {
+		res = (res * 2) % p
+	}
+	return (res + mulSmall(lo, b)) % p
+}
+
+// mulSmall multiplies a (< 2^31) by b (< 2^61) mod p using schoolbook
+// splitting of b.
+func mulSmall(a, b uint64) uint64 {
+	const p = blomPrime
+	bLo := b & ((1 << 31) - 1)
+	bHi := b >> 31
+	res := (a * bHi) % p
+	for i := 0; i < 31; i++ {
+		res = (res * 2) % p
+	}
+	return (res + (a*bLo)%p) % p
+}
+
+func TestSharedKeySymmetry(t *testing.T) {
+	auth := newTestAuthority(t, 42)
+	keys := make([]*PrivateKey, 10)
+	for i := range keys {
+		keys[i] = issue(t, auth, NodeID(i), int64(100+i))
+	}
+	for i := range keys {
+		for j := range keys {
+			if i == j {
+				continue
+			}
+			kij := keys[i].SharedKey(NodeID(j))
+			kji := keys[j].SharedKey(NodeID(i))
+			if kij != kji {
+				t.Fatalf("K_%d%d != K_%d%d", i, j, j, i)
+			}
+		}
+	}
+}
+
+func TestSharedKeysDistinctAcrossPairs(t *testing.T) {
+	auth := newTestAuthority(t, 43)
+	a := issue(t, auth, 1, 1)
+	b := issue(t, auth, 2, 2)
+	c := issue(t, auth, 3, 3)
+	kab := a.SharedKey(2)
+	kac := a.SharedKey(3)
+	kbc := b.SharedKey(3)
+	if kab == kac || kab == kbc || kac == kbc {
+		t.Fatal("pairwise keys collide across distinct pairs")
+	}
+	// A third party's key with either endpoint differs from K_AB.
+	if c.SharedKey(1) == kab || c.SharedKey(2) == kab {
+		t.Fatal("outsider derived the pair key")
+	}
+}
+
+func TestIssueRejectsDuplicateID(t *testing.T) {
+	auth := newTestAuthority(t, 44)
+	issue(t, auth, 7, 1)
+	if _, err := auth.Issue(7, rand.New(rand.NewSource(2))); err == nil {
+		t.Fatal("duplicate issue accepted")
+	}
+}
+
+func TestAuthorityRequiresRand(t *testing.T) {
+	if _, err := NewAuthority(AuthorityConfig{}); err == nil {
+		t.Fatal("NewAuthority accepted nil Rand")
+	}
+	auth := newTestAuthority(t, 45)
+	if _, err := auth.Issue(1, nil); err == nil {
+		t.Fatal("Issue accepted nil rng")
+	}
+}
+
+func TestIDPointInjectiveOnSample(t *testing.T) {
+	seen := make(map[uint64]NodeID, 1<<16)
+	for id := 0; id < 1<<16; id++ {
+		p := idPoint(NodeID(id))
+		if p == 0 || p >= blomPrime {
+			t.Fatalf("idPoint(%d) = %d out of field range", id, p)
+		}
+		if prev, ok := seen[p]; ok {
+			t.Fatalf("idPoint collision: %d and %d → %d", prev, id, p)
+		}
+		seen[p] = NodeID(id)
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	auth := newTestAuthority(t, 46)
+	a := issue(t, auth, 10, 1)
+	msg := []byte("m-ndp request payload")
+	sig := a.Sign(msg)
+	if err := Verify(auth.RootPublicKey(), 10, msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	auth := newTestAuthority(t, 47)
+	a := issue(t, auth, 10, 1)
+	b := issue(t, auth, 11, 2)
+	msg := []byte("payload")
+	sig := a.Sign(msg)
+
+	if err := Verify(auth.RootPublicKey(), 10, []byte("other payload"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("modified message: err = %v, want ErrBadSignature", err)
+	}
+	if err := Verify(auth.RootPublicKey(), 11, msg, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong claimed ID: err = %v, want ErrBadSignature", err)
+	}
+	// Signature swapped onto another identity's cert.
+	forged := sig
+	forged.SignerID = 11
+	forged.Cert = b.Sign(msg).Cert
+	if err := Verify(auth.RootPublicKey(), 11, msg, forged); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("spliced cert: err = %v, want ErrBadSignature", err)
+	}
+	// Self-signed cert (attacker without the authority key).
+	rogue := sig
+	rogue.Cert = append([]byte(nil), sig.Sig...)
+	if err := Verify(auth.RootPublicKey(), 10, msg, rogue); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("rogue cert: err = %v, want ErrBadSignature", err)
+	}
+	// Truncated public key.
+	short := sig
+	short.PubKey = sig.PubKey[:5]
+	if err := Verify(auth.RootPublicKey(), 10, msg, short); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("short pubkey: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsForeignAuthority(t *testing.T) {
+	auth1 := newTestAuthority(t, 48)
+	auth2 := newTestAuthority(t, 49)
+	a := issue(t, auth1, 10, 1)
+	sig := a.Sign([]byte("msg"))
+	if err := Verify(auth2.RootPublicKey(), 10, []byte("msg"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("foreign authority: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	var key [32]byte
+	key[0] = 1
+	mac := MAC(key, 20, []byte("idA"), []byte("nonce"))
+	if len(mac) != 20 {
+		t.Fatalf("MAC length = %d, want 20", len(mac))
+	}
+	if !VerifyMAC(key, mac, []byte("idA"), []byte("nonce")) {
+		t.Fatal("valid MAC rejected")
+	}
+	if VerifyMAC(key, mac, []byte("idA"), []byte("other")) {
+		t.Fatal("wrong-message MAC accepted")
+	}
+	var otherKey [32]byte
+	otherKey[0] = 2
+	if VerifyMAC(otherKey, mac, []byte("idA"), []byte("nonce")) {
+		t.Fatal("wrong-key MAC accepted")
+	}
+}
+
+func TestSessionCodeSymmetricInNonces(t *testing.T) {
+	var key [32]byte
+	key[5] = 9
+	nA := []byte{1, 2, 3}
+	nB := []byte{9, 8, 7}
+	c1, err := SessionCode(key, nA, nB, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := SessionCode(key, nB, nA, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c1.Equal(c2) {
+		t.Fatal("session code not symmetric in nonce order")
+	}
+	if c1.Len() != 512 {
+		t.Fatalf("Len = %d, want 512", c1.Len())
+	}
+	// Different nonces give different codes.
+	c3, err := SessionCode(key, []byte{1, 2, 4}, nB, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Equal(c3) {
+		t.Fatal("distinct nonces yielded the same session code")
+	}
+	if _, err := SessionCode(key, nA, []byte{1}, 512); err == nil {
+		t.Fatal("mismatched nonce lengths accepted")
+	}
+}
+
+func TestSessionCodeEndToEnd(t *testing.T) {
+	// The full §V-B flow: both ends derive the pairwise key from their own
+	// private key and the peer ID, then the same session code.
+	auth := newTestAuthority(t, 50)
+	a := issue(t, auth, 100, 1)
+	b := issue(t, auth, 200, 2)
+	nA := []byte{0xde, 0xad}
+	nB := []byte{0xbe, 0xef}
+	cA, err := SessionCode(a.SharedKey(200), nA, nB, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB, err := SessionCode(b.SharedKey(100), nB, nA, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cA.Equal(cB) {
+		t.Fatal("endpoints derived different session codes")
+	}
+}
+
+// Property: shared-key symmetry holds for arbitrary ID pairs.
+func TestPropertySharedKeySymmetry(t *testing.T) {
+	auth := newTestAuthority(t, 51)
+	issued := map[NodeID]*PrivateKey{}
+	get := func(id NodeID) *PrivateKey {
+		if k, ok := issued[id]; ok {
+			return k
+		}
+		k, err := auth.Issue(id, rand.New(rand.NewSource(int64(id)+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		issued[id] = k
+		return k
+	}
+	f := func(x, y uint16) bool {
+		if x == y {
+			return true
+		}
+		a, b := get(NodeID(x)), get(NodeID(y))
+		return a.SharedKey(NodeID(y)) == b.SharedKey(NodeID(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

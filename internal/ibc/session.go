@@ -1,0 +1,46 @@
+package ibc
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/chips"
+)
+
+// MAC computes the message authentication code f_K(·) of §V-B using
+// HMAC-SHA256, truncated to macLen bytes (the paper uses l_mac = 160 bits
+// = 20 bytes).
+func MAC(key [32]byte, macLen int, parts ...[]byte) []byte {
+	m := hmac.New(sha256.New, key[:])
+	for _, p := range parts {
+		m.Write(p)
+	}
+	sum := m.Sum(nil)
+	if macLen <= 0 || macLen > len(sum) {
+		macLen = len(sum)
+	}
+	return sum[:macLen]
+}
+
+// VerifyMAC checks a MAC in constant time.
+func VerifyMAC(key [32]byte, mac []byte, parts ...[]byte) bool {
+	return hmac.Equal(mac, MAC(key, len(mac), parts...))
+}
+
+// SessionCode derives the session spread code C_AB = h_{K_AB}(n_A ⊗ n_B) of
+// §V-B: an N-chip sequence keyed by the pairwise key and the XOR of the two
+// nonces, so both endpoints derive the same code regardless of role.
+func SessionCode(key [32]byte, nonceA, nonceB []byte, n int) (chips.Sequence, error) {
+	if len(nonceA) != len(nonceB) {
+		return chips.Sequence{}, fmt.Errorf("ibc: nonce lengths differ (%d vs %d)", len(nonceA), len(nonceB))
+	}
+	x := make([]byte, len(nonceA))
+	for i := range x {
+		x[i] = nonceA[i] ^ nonceB[i]
+	}
+	m := hmac.New(sha256.New, key[:])
+	m.Write([]byte("jrsnd-session-code"))
+	m.Write(x)
+	return chips.Derive(m.Sum(nil), n), nil
+}

@@ -1,0 +1,200 @@
+// Package phy provides a chip-level JR-SND endpoint: a node that owns real
+// spread codes and an RS framer, transmits protocol messages as chip
+// signals, and receives by sliding-window scan — the physical realization
+// of the abstractions the message-level engine (internal/core) works with.
+// It exists so examples and cross-fidelity tests can run the actual §V-B
+// exchange on the air interface without re-implementing the receiver.
+package phy
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chips"
+	"repro/internal/dsss"
+	"repro/internal/ibc"
+)
+
+// Node is a chip-level endpoint with a code set and an identity.
+type Node struct {
+	id    ibc.NodeID
+	key   *ibc.PrivateKey
+	codes []chips.Sequence
+	frame *dsss.Frame
+	// session state per peer
+	sessions map[ibc.NodeID]*session
+}
+
+type session struct {
+	key         [32]byte
+	localNonce  []byte
+	remoteNonce []byte
+	code        chips.Sequence
+	haveCode    bool
+}
+
+// Config creates a chip-level node.
+type Config struct {
+	// Key is the node's ID-based private key (issued by the authority).
+	Key *ibc.PrivateKey
+	// Codes is the node's pre-distributed spread-code set ℂ.
+	Codes []chips.Sequence
+	// Mu and Tau are the ECC expansion and de-spread threshold.
+	Mu, Tau float64
+}
+
+// NewNode builds the endpoint.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Key == nil {
+		return nil, errors.New("phy: Key must be set")
+	}
+	if len(cfg.Codes) == 0 {
+		return nil, errors.New("phy: at least one spread code required")
+	}
+	n := cfg.Codes[0].Len()
+	for _, c := range cfg.Codes {
+		if c.Len() != n {
+			return nil, errors.New("phy: codes have mixed chip lengths")
+		}
+	}
+	frame, err := dsss.NewFrame(cfg.Mu, cfg.Tau)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		id:       cfg.Key.ID(),
+		key:      cfg.Key,
+		codes:    append([]chips.Sequence(nil), cfg.Codes...),
+		frame:    frame,
+		sessions: map[ibc.NodeID]*session{},
+	}, nil
+}
+
+// ID returns the node identity.
+func (n *Node) ID() ibc.NodeID { return n.id }
+
+// ChipLen returns the spread-code length.
+func (n *Node) ChipLen() int { return n.codes[0].Len() }
+
+// Codes returns the node's code set (shared backing; treat as read-only).
+func (n *Node) Codes() []chips.Sequence { return n.codes }
+
+// Frame exposes the node's framer.
+func (n *Node) Frame() *dsss.Frame { return n.frame }
+
+// Message type identifiers on the chip channel (first payload byte).
+const (
+	TypeHello byte = iota + 1
+	TypeConfirm
+	TypeAuth1
+	TypeAuth2
+)
+
+// Hello builds the {HELLO, ID} payload.
+func (n *Node) Hello() []byte {
+	return append([]byte{TypeHello}, idBytes(n.id)...)
+}
+
+// Confirm builds the {CONFIRM, ID} payload.
+func (n *Node) Confirm() []byte {
+	return append([]byte{TypeConfirm}, idBytes(n.id)...)
+}
+
+// Auth builds an authentication payload {type, ID, nonce, f_K(ID|nonce)}
+// toward peer, deriving the pairwise key on first use. macLen is in bytes.
+func (n *Node) Auth(msgType byte, peer ibc.NodeID, nonce []byte, macLen int) []byte {
+	s := n.sessionWith(peer)
+	if s.localNonce == nil {
+		s.localNonce = append([]byte(nil), nonce...)
+	}
+	mac := ibc.MAC(s.key, macLen, idBytes(n.id), nonce)
+	out := append([]byte{msgType}, idBytes(n.id)...)
+	out = append(out, byte(len(nonce)))
+	out = append(out, nonce...)
+	return append(out, mac...)
+}
+
+// VerifyAuth validates a received authentication payload from peer and
+// stores the peer nonce. It returns the nonce or an error.
+func (n *Node) VerifyAuth(payload []byte) (ibc.NodeID, []byte, error) {
+	if len(payload) < 4 {
+		return 0, nil, errors.New("phy: auth payload too short")
+	}
+	if payload[0] != TypeAuth1 && payload[0] != TypeAuth2 {
+		return 0, nil, fmt.Errorf("phy: unexpected message type %d", payload[0])
+	}
+	peer := ibc.NodeID(uint16(payload[1])<<8 | uint16(payload[2]))
+	nlen := int(payload[3])
+	if len(payload) < 4+nlen+1 {
+		return 0, nil, errors.New("phy: truncated auth payload")
+	}
+	nonce := payload[4 : 4+nlen]
+	mac := payload[4+nlen:]
+	s := n.sessionWith(peer)
+	if !ibc.VerifyMAC(s.key, mac, idBytes(peer), nonce) {
+		return 0, nil, fmt.Errorf("phy: MAC verification failed for peer %d", peer)
+	}
+	s.remoteNonce = append([]byte(nil), nonce...)
+	return peer, nonce, nil
+}
+
+// SessionCode derives (and caches) the session spread code with peer once
+// both nonces are known.
+func (n *Node) SessionCode(peer ibc.NodeID) (chips.Sequence, error) {
+	s := n.sessionWith(peer)
+	if s.haveCode {
+		return s.code, nil
+	}
+	if s.localNonce == nil || s.remoteNonce == nil {
+		return chips.Sequence{}, fmt.Errorf("phy: nonces with peer %d not yet exchanged", peer)
+	}
+	code, err := ibc.SessionCode(s.key, s.localNonce, s.remoteNonce, n.ChipLen())
+	if err != nil {
+		return chips.Sequence{}, err
+	}
+	s.code = code
+	s.haveCode = true
+	return code, nil
+}
+
+// Transmit frames msg and spreads it with the given code.
+func (n *Node) Transmit(msg []byte, code chips.Sequence) (chips.Sequence, error) {
+	return n.frame.Transmit(msg, code)
+}
+
+// Receive scans buf with the node's code set (plus any established session
+// codes) for a frame of msgLen bytes and decodes it.
+func (n *Node) Receive(buf []int32, msgLen int) (msg []byte, code chips.Sequence, err error) {
+	candidates := append([]chips.Sequence(nil), n.codes...)
+	for _, s := range n.sessions {
+		if s.haveCode {
+			candidates = append(candidates, s.code)
+		}
+	}
+	m, idx, _, err := n.frame.ReceiveScan(buf, candidates, msgLen)
+	if err != nil {
+		return nil, chips.Sequence{}, err
+	}
+	return m, candidates[idx], nil
+}
+
+func (n *Node) sessionWith(peer ibc.NodeID) *session {
+	if s, ok := n.sessions[peer]; ok {
+		return s
+	}
+	s := &session{key: n.key.SharedKey(peer)}
+	n.sessions[peer] = s
+	return s
+}
+
+func idBytes(id ibc.NodeID) []byte {
+	return []byte{byte(id >> 8), byte(id)}
+}
+
+// ParseID extracts the sender identity from a HELLO/CONFIRM payload.
+func ParseID(payload []byte) (byte, ibc.NodeID, error) {
+	if len(payload) < 3 {
+		return 0, 0, errors.New("phy: payload too short")
+	}
+	return payload[0], ibc.NodeID(uint16(payload[1])<<8 | uint16(payload[2])), nil
+}

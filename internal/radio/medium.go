@@ -1,0 +1,148 @@
+package radio
+
+import (
+	"fmt"
+
+	"repro/internal/codepool"
+	"repro/internal/sim"
+)
+
+// Message is a protocol message on the air. The medium is payload-agnostic;
+// the protocol layer defines Kind and Payload.
+type Message struct {
+	Kind         int
+	Code         codepool.CodeID // pool code in use, or SessionCode
+	SessionKnown bool            // jammer knows the session code
+	PayloadBits  int             // pre-ECC payload length in bits
+	Payload      any
+}
+
+// Handler receives messages that survived jamming. from is the transmitter
+// index; a handler is only invoked for nodes in range of the transmitter.
+type Handler func(from int, msg Message)
+
+// Stats aggregates medium activity.
+type Stats struct {
+	Transmissions int
+	Jammed        int
+	Delivered     int
+}
+
+// Medium is the message-level shared radio: transmissions reach all
+// physical neighbors of the sender after the frame airtime, unless the
+// omnipresent jammer destroys the frame (decided once per transmission,
+// since the jamming signal covers the whole neighborhood).
+type Medium struct {
+	engine   *sim.Engine
+	jammer   Jammer
+	adjacent func(node int) []int
+	chipLen  int
+	chipRate float64
+	mu       float64
+	observer func(from, to int, msg Message, jammed bool)
+	handlers map[int]Handler
+	stats    Stats
+}
+
+// MediumConfig configures the medium.
+type MediumConfig struct {
+	Engine *sim.Engine
+	Jammer Jammer
+	// Adjacent returns the current physical neighbors of a node. It is
+	// consulted at delivery time, so mobility is honored.
+	Adjacent func(node int) []int
+	ChipLen  int     // N
+	ChipRate float64 // R
+	Mu       float64 // μ (ECC expansion; scales airtime)
+	// Observer, when set, is invoked synchronously for every transmission
+	// with the jam verdict (to = -1 for broadcasts). Used for tracing.
+	Observer func(from, to int, msg Message, jammed bool)
+}
+
+// NewMedium creates a medium.
+func NewMedium(cfg MediumConfig) (*Medium, error) {
+	switch {
+	case cfg.Engine == nil:
+		return nil, fmt.Errorf("radio: Engine must be set")
+	case cfg.Jammer == nil:
+		return nil, fmt.Errorf("radio: Jammer must be set")
+	case cfg.Adjacent == nil:
+		return nil, fmt.Errorf("radio: Adjacent must be set")
+	case cfg.ChipLen < 1:
+		return nil, fmt.Errorf("radio: ChipLen %d must be >= 1", cfg.ChipLen)
+	case cfg.ChipRate <= 0:
+		return nil, fmt.Errorf("radio: ChipRate %v must be positive", cfg.ChipRate)
+	case cfg.Mu <= 0:
+		return nil, fmt.Errorf("radio: Mu %v must be positive", cfg.Mu)
+	}
+	return &Medium{
+		engine:   cfg.Engine,
+		jammer:   cfg.Jammer,
+		adjacent: cfg.Adjacent,
+		chipLen:  cfg.ChipLen,
+		chipRate: cfg.ChipRate,
+		mu:       cfg.Mu,
+		observer: cfg.Observer,
+		handlers: map[int]Handler{},
+	}, nil
+}
+
+// Attach registers node's receive handler.
+func (m *Medium) Attach(node int, h Handler) {
+	m.handlers[node] = h
+}
+
+// Airtime returns the on-air duration of a payload of the given bit length
+// after ECC expansion: (1+μ)·bits·N/R.
+func (m *Medium) Airtime(payloadBits int) sim.Time {
+	return sim.Time((1 + m.mu) * float64(payloadBits) * float64(m.chipLen) / m.chipRate)
+}
+
+// Stats returns a copy of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Broadcast transmits msg from the sender to every physical neighbor. The
+// jam decision is made once per transmission; jammed frames are dropped
+// (no receiver can de-spread them).
+func (m *Medium) Broadcast(from int, msg Message) error {
+	return m.transmit(from, -1, msg)
+}
+
+// Unicast transmits msg to one physical neighbor. Delivery still requires
+// `to` to be within range at delivery time.
+func (m *Medium) Unicast(from, to int, msg Message) error {
+	if to < 0 {
+		return fmt.Errorf("radio: invalid unicast target %d", to)
+	}
+	return m.transmit(from, to, msg)
+}
+
+func (m *Medium) transmit(from, to int, msg Message) error {
+	if msg.PayloadBits <= 0 {
+		return fmt.Errorf("radio: message payload bits %d must be positive", msg.PayloadBits)
+	}
+	m.stats.Transmissions++
+	jammed := m.jammer.TryJam(Transmission{Code: msg.Code, SessionKnown: msg.SessionKnown, Kind: msg.Kind})
+	if jammed {
+		m.stats.Jammed++
+	}
+	if m.observer != nil {
+		m.observer(from, to, msg, jammed)
+	}
+	airtime := m.Airtime(msg.PayloadBits)
+	_, err := m.engine.Schedule(airtime, func() {
+		if jammed {
+			return
+		}
+		for _, nbr := range m.adjacent(from) {
+			if to >= 0 && nbr != to {
+				continue
+			}
+			if h, ok := m.handlers[nbr]; ok {
+				m.stats.Delivered++
+				h(from, msg)
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,258 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is a Reed–Solomon code RS(n, k) over GF(2^8) with n = k + parity,
+// n <= 255. It corrects up to parity erasures, or up to parity/2 unknown
+// errors, or any mix with 2·errors + erasures <= parity.
+type Code struct {
+	k      int    // data symbols per block
+	parity int    // parity symbols per block
+	gen    []byte // generator polynomial, low-degree first, degree = parity
+}
+
+var (
+	// ErrTooManyErrors is returned when the received word is too corrupted
+	// to decode. The decoder never silently returns wrong data for
+	// correctable inputs; beyond the design distance it reports this error
+	// with high probability.
+	ErrTooManyErrors = errors.New("rs: too many errors to decode")
+
+	// ErrBlockLength is returned for inputs of the wrong length.
+	ErrBlockLength = errors.New("rs: wrong block length")
+)
+
+// NewCode constructs an RS(k+parity, k) code. k >= 1, parity >= 1 and
+// k+parity <= 255.
+func NewCode(k, parity int) (*Code, error) {
+	if k < 1 || parity < 1 || k+parity > 255 {
+		return nil, fmt.Errorf("rs: invalid parameters k=%d parity=%d (need 1<=k, 1<=parity, k+parity<=255)", k, parity)
+	}
+	// Generator g(x) = Π_{i=0}^{parity-1} (x - α^i).
+	gen := []byte{1}
+	for i := 0; i < parity; i++ {
+		gen = polyMul(gen, []byte{alphaPow(i), 1})
+	}
+	return &Code{k: k, parity: parity, gen: gen}, nil
+}
+
+// K returns the number of data symbols per block.
+func (c *Code) K() int { return c.k }
+
+// Parity returns the number of parity symbols per block.
+func (c *Code) Parity() int { return c.parity }
+
+// N returns the total block length k + parity.
+func (c *Code) N() int { return c.k + c.parity }
+
+// Encode encodes exactly k data bytes into an n-byte systematic codeword.
+// The codeword is parity-first: positions [0, parity) hold the parity
+// symbols (the low-degree coefficients of the codeword polynomial) and
+// positions [parity, n) hold the data unchanged. With this layout the
+// codeword polynomial is c(x) = x^parity·d(x) + (x^parity·d(x) mod g(x)),
+// which vanishes at every root of the generator.
+func (c *Code) Encode(data []byte) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data bytes, want %d", ErrBlockLength, len(data), c.k)
+	}
+	out := make([]byte, c.N())
+	copy(out[c.parity:], data)
+	rem := make([]byte, c.parity)
+	for i := c.k - 1; i >= 0; i-- {
+		// rem ← rem·x + data[i]·x^parity (mod g).
+		factor := gfAdd(data[i], rem[c.parity-1])
+		copy(rem[1:], rem[:c.parity-1])
+		rem[0] = 0
+		if factor != 0 {
+			for j := 0; j < c.parity; j++ {
+				rem[j] ^= gfMul(factor, c.gen[j])
+			}
+		}
+	}
+	copy(out[:c.parity], rem)
+	return out, nil
+}
+
+// Decode decodes an n-byte received word, correcting unknown errors and the
+// erasures whose positions are listed in erasures (indices into the block).
+// It returns the k recovered data bytes. Erasure positions may hold any
+// byte value in the input. It fails with ErrTooManyErrors when
+// 2·(unknown errors) + len(erasures) exceeds the parity budget.
+func (c *Code) Decode(received []byte, erasures []int) ([]byte, error) {
+	if len(received) != c.N() {
+		return nil, fmt.Errorf("%w: got %d bytes, want %d", ErrBlockLength, len(received), c.N())
+	}
+	if len(erasures) > c.parity {
+		return nil, fmt.Errorf("%w: %d erasures exceed parity %d", ErrTooManyErrors, len(erasures), c.parity)
+	}
+	for _, e := range erasures {
+		if e < 0 || e >= c.N() {
+			return nil, fmt.Errorf("rs: erasure position %d out of range [0,%d)", e, c.N())
+		}
+	}
+
+	word := make([]byte, len(received))
+	copy(word, received)
+	// Zero out erased positions so syndromes reflect a known value there.
+	for _, e := range erasures {
+		word[e] = 0
+	}
+
+	synd := c.syndromes(word)
+	if allZero(synd) && len(erasures) == 0 {
+		return word[c.parity:], nil
+	}
+
+	// The codeword c(x) = Σ word[i] x^i with evaluation points α^i; the
+	// locator of position i is X_i = α^i.
+	erasureLoc := []byte{1}
+	for _, e := range erasures {
+		erasureLoc = polyMul(erasureLoc, []byte{1, alphaPow(e)}) // (1 + X_i x)
+	}
+
+	// Forney syndromes: fold erasure information into the syndromes so
+	// Berlekamp–Massey only has to find the unknown-error locator. The
+	// first len(erasures) entries of T(x) = S(x)·Γ(x) mod x^parity carry a
+	// polynomial term contributed by the erasures themselves; only the
+	// shifted tail T_f, …, T_{parity-1} is a pure exponential sum
+	// annihilated by the error locator, so BM runs on that tail.
+	forney := c.forneySyndromes(synd, erasureLoc)
+	maxErrors := (c.parity - len(erasures)) / 2
+	errLoc, err := berlekampMassey(forney[len(erasures):], maxErrors)
+	if err != nil {
+		return nil, err
+	}
+
+	// Combined locator covers both erasures and errors.
+	loc := polyTrim(polyMul(erasureLoc, errLoc))
+	positions, err := c.chienSearch(loc)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.forneyCorrect(word, synd, loc, positions); err != nil {
+		return nil, err
+	}
+	// Verify: a successful correction must yield zero syndromes.
+	if !allZero(c.syndromes(word)) {
+		return nil, ErrTooManyErrors
+	}
+	return word[c.parity:], nil
+}
+
+// syndromes computes S_j = r(α^j) for j = 0..parity-1.
+func (c *Code) syndromes(word []byte) []byte {
+	s := make([]byte, c.parity)
+	for j := 0; j < c.parity; j++ {
+		s[j] = polyEval(word, alphaPow(j))
+	}
+	return s
+}
+
+// forneySyndromes computes the modified syndromes T(x) = S(x)·Γ(x) mod
+// x^parity, where Γ is the erasure locator.
+func (c *Code) forneySyndromes(synd, erasureLoc []byte) []byte {
+	t := polyMul(synd, erasureLoc)
+	if len(t) > c.parity {
+		t = t[:c.parity]
+	}
+	out := make([]byte, c.parity)
+	copy(out, t)
+	return out
+}
+
+// berlekampMassey finds the minimal error-locator polynomial Λ(x) (constant
+// term 1) consistent with the given syndromes, allowing at most maxErrors
+// errors.
+func berlekampMassey(synd []byte, maxErrors int) ([]byte, error) {
+	lambda := []byte{1}
+	prev := []byte{1}
+	length := 0 // current LFSR length
+	shift := 1
+	for n := 0; n < len(synd); n++ {
+		// Discrepancy δ = S_n + Σ_{i=1..L} λ_i S_{n-i}.
+		delta := synd[n]
+		for i := 1; i <= length && i < len(lambda); i++ {
+			delta ^= gfMul(lambda[i], synd[n-i])
+		}
+		if delta == 0 {
+			shift++
+			continue
+		}
+		// λ' = λ - δ·x^shift·prev
+		shifted := make([]byte, shift+len(prev))
+		copy(shifted[shift:], prev)
+		candidate := polyAdd(lambda, polyScale(shifted, delta))
+		if 2*length <= n {
+			prev = polyScale(lambda, gfInv(delta))
+			lambda = candidate
+			length = n + 1 - length
+			shift = 1
+		} else {
+			lambda = candidate
+			shift++
+		}
+	}
+	lambda = polyTrim(lambda)
+	if length > maxErrors || len(lambda)-1 != length {
+		return nil, ErrTooManyErrors
+	}
+	return lambda, nil
+}
+
+// chienSearch finds the positions i in [0, n) for which the locator has a
+// root at α^{-i}, i.e. the corrupted symbol positions.
+func (c *Code) chienSearch(loc []byte) ([]int, error) {
+	degree := len(loc) - 1
+	if degree == 0 {
+		return nil, nil
+	}
+	positions := make([]int, 0, degree)
+	for i := 0; i < c.N(); i++ {
+		if polyEval(loc, alphaPow(-i)) == 0 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != degree {
+		// Locator roots don't all lie inside the block: uncorrectable.
+		return nil, ErrTooManyErrors
+	}
+	return positions, nil
+}
+
+// forneyCorrect computes the error magnitudes with Forney's algorithm and
+// patches word in place.
+func (c *Code) forneyCorrect(word, synd, loc []byte, positions []int) error {
+	if len(positions) == 0 {
+		return nil
+	}
+	// Error evaluator Ω(x) = S(x)·Λ(x) mod x^parity.
+	omega := polyMul(synd, loc)
+	if len(omega) > c.parity {
+		omega = omega[:c.parity]
+	}
+	locDeriv := polyDeriv(loc)
+	for _, pos := range positions {
+		xInv := alphaPow(-pos)
+		denom := polyEval(locDeriv, xInv)
+		if denom == 0 {
+			return ErrTooManyErrors
+		}
+		// With the b=0 syndrome convention (S_j = r(α^j), j starting at 0)
+		// the magnitude is e = X·Ω(X^-1)/Λ'(X^-1) with X = α^pos.
+		num := gfMul(polyEval(omega, xInv), alphaPow(pos))
+		word[pos] ^= gfDiv(num, denom)
+	}
+	return nil
+}
+
+func allZero(p []byte) bool {
+	for _, v := range p {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

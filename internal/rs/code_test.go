@@ -1,0 +1,358 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFAxioms(t *testing.T) {
+	// Spot-check field axioms on a pseudorandom sample.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("mul not commutative for %d,%d", a, b)
+		}
+		if gfMul(a, gfMul(b, c)) != gfMul(gfMul(a, b), c) {
+			t.Fatalf("mul not associative for %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, gfAdd(b, c)) != gfAdd(gfMul(a, b), gfMul(a, c)) {
+			t.Fatalf("distributivity fails for %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, 1) != a {
+			t.Fatalf("1 is not identity for %d", a)
+		}
+		if a != 0 && gfMul(a, gfInv(a)) != 1 {
+			t.Fatalf("inverse wrong for %d", a)
+		}
+	}
+}
+
+func TestGFPow(t *testing.T) {
+	for _, tc := range []struct {
+		a    byte
+		n    int
+		want byte
+	}{
+		{2, 0, 1}, {2, 1, 2}, {2, 2, 4}, {2, 8, 0x1d}, {0, 5, 0}, {7, 1, 7},
+	} {
+		if got := gfPow(tc.a, tc.n); got != tc.want {
+			t.Errorf("gfPow(%d,%d) = %d, want %d", tc.a, tc.n, got, tc.want)
+		}
+	}
+	if alphaPow(-1) != gfInv(2) {
+		t.Error("alphaPow(-1) != inv(α)")
+	}
+	if alphaPow(255) != 1 {
+		t.Error("alphaPow(255) != 1")
+	}
+}
+
+func TestNewCodeValidation(t *testing.T) {
+	for _, tc := range []struct{ k, parity int }{
+		{0, 4}, {4, 0}, {200, 100}, {-1, 4},
+	} {
+		if _, err := NewCode(tc.k, tc.parity); err == nil {
+			t.Errorf("NewCode(%d,%d) accepted invalid parameters", tc.k, tc.parity)
+		}
+	}
+}
+
+func TestEncodeIsSystematicAndValid(t *testing.T) {
+	code, err := NewCode(11, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello world")
+	cw, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cw[8:], data) {
+		t.Fatal("codeword is not systematic (data must follow the 8 parity bytes)")
+	}
+	if !allZero(code.syndromes(cw)) {
+		t.Fatal("valid codeword has nonzero syndromes")
+	}
+}
+
+func TestDecodeNoErrors(t *testing.T) {
+	code, _ := NewCode(20, 10)
+	data := make([]byte, 20)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	cw, _ := code.Encode(data)
+	got, err := code.Decode(cw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("clean decode mismatch")
+	}
+}
+
+func TestDecodeCorrectsErrors(t *testing.T) {
+	code, _ := NewCode(20, 10)
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 20)
+	rng.Read(data)
+	cw, _ := code.Encode(data)
+	// Up to parity/2 = 5 unknown errors.
+	for numErr := 1; numErr <= 5; numErr++ {
+		corrupted := append([]byte(nil), cw...)
+		perm := rng.Perm(len(cw))[:numErr]
+		for _, p := range perm {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, err := code.Decode(corrupted, nil)
+		if err != nil {
+			t.Fatalf("numErr=%d: %v", numErr, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("numErr=%d: decode mismatch", numErr)
+		}
+	}
+}
+
+func TestDecodeCorrectsErasures(t *testing.T) {
+	code, _ := NewCode(20, 10)
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 20)
+	rng.Read(data)
+	cw, _ := code.Encode(data)
+	// Up to parity = 10 erasures.
+	for numEras := 1; numEras <= 10; numEras++ {
+		corrupted := append([]byte(nil), cw...)
+		positions := rng.Perm(len(cw))[:numEras]
+		for _, p := range positions {
+			corrupted[p] = byte(rng.Intn(256))
+		}
+		got, err := code.Decode(corrupted, positions)
+		if err != nil {
+			t.Fatalf("numEras=%d: %v", numEras, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("numEras=%d: decode mismatch", numEras)
+		}
+	}
+}
+
+func TestDecodeMixedErrorsAndErasures(t *testing.T) {
+	code, _ := NewCode(30, 12)
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 30)
+	rng.Read(data)
+	cw, _ := code.Encode(data)
+	// 2e + f <= 12: try e=3, f=6.
+	corrupted := append([]byte(nil), cw...)
+	perm := rng.Perm(len(cw))
+	erasures := perm[:6]
+	errs := perm[6:9]
+	for _, p := range erasures {
+		corrupted[p] = byte(rng.Intn(256))
+	}
+	for _, p := range errs {
+		corrupted[p] ^= byte(1 + rng.Intn(255))
+	}
+	got, err := code.Decode(corrupted, erasures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mixed decode mismatch")
+	}
+}
+
+func TestDecodeBeyondCapacityFails(t *testing.T) {
+	code, _ := NewCode(20, 10)
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 20)
+	rng.Read(data)
+	cw, _ := code.Encode(data)
+	failures := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		corrupted := append([]byte(nil), cw...)
+		// 9 unknown errors >> capacity 5.
+		for _, p := range rng.Perm(len(cw))[:9] {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, err := code.Decode(corrupted, nil)
+		if err != nil {
+			failures++
+			continue
+		}
+		if bytes.Equal(got, data) {
+			// Extremely unlikely fluke; count as failure of the test only
+			// if it happens, which it should not for 9 errors.
+			t.Fatal("decode succeeded correctly beyond capacity (unexpected)")
+		}
+		// Miscorrection without detection is possible for RS beyond the
+		// design distance but must be rare.
+	}
+	if failures < trials*9/10 {
+		t.Fatalf("only %d/%d overloaded words were rejected", failures, trials)
+	}
+}
+
+func TestDecodeTooManyErasures(t *testing.T) {
+	code, _ := NewCode(10, 4)
+	cw, _ := code.Encode(make([]byte, 10))
+	if _, err := code.Decode(cw, []int{0, 1, 2, 3, 4}); !errors.Is(err, ErrTooManyErrors) {
+		t.Fatalf("err = %v, want ErrTooManyErrors", err)
+	}
+}
+
+func TestDecodeBadLengths(t *testing.T) {
+	code, _ := NewCode(10, 4)
+	if _, err := code.Encode(make([]byte, 9)); !errors.Is(err, ErrBlockLength) {
+		t.Fatalf("Encode err = %v, want ErrBlockLength", err)
+	}
+	if _, err := code.Decode(make([]byte, 13), nil); !errors.Is(err, ErrBlockLength) {
+		t.Fatalf("Decode err = %v, want ErrBlockLength", err)
+	}
+	if _, err := code.Decode(make([]byte, 14), []int{99}); err == nil {
+		t.Fatal("Decode accepted out-of-range erasure")
+	}
+}
+
+func TestCodecRoundTripVariousLengths(t *testing.T) {
+	codec, err := NewCodec(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for _, msgLen := range []int{1, 5, 6, 100, 127, 128, 300, 1000} {
+		msg := make([]byte, msgLen)
+		rng.Read(msg)
+		enc, err := codec.Encode(msg)
+		if err != nil {
+			t.Fatalf("len=%d: %v", msgLen, err)
+		}
+		if len(enc) != codec.EncodedLen(msgLen) {
+			t.Fatalf("len=%d: EncodedLen=%d but Encode produced %d",
+				msgLen, codec.EncodedLen(msgLen), len(enc))
+		}
+		got, err := codec.Decode(enc, msgLen, nil)
+		if err != nil {
+			t.Fatalf("len=%d: %v", msgLen, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("len=%d: round trip mismatch", msgLen)
+		}
+	}
+}
+
+func TestCodecToleratesMuFraction(t *testing.T) {
+	// μ=1 must tolerate erasure of just under half the encoded stream,
+	// even as one contiguous burst (thanks to interleaving).
+	codec, _ := NewCodec(1.0)
+	rng := rand.New(rand.NewSource(7))
+	msg := make([]byte, 500)
+	rng.Read(msg)
+	enc, err := codec.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := len(enc) * codec.BlockCode().Parity() / codec.BlockCode().N() // exactly the guaranteed budget
+	erasures := make([]int, 0, burst)
+	start := 100
+	for i := 0; i < burst; i++ {
+		pos := (start + i) % len(enc)
+		enc[pos] ^= 0xA5
+		erasures = append(erasures, pos)
+	}
+	got, err := codec.Decode(enc, len(msg), erasures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("burst-erasure decode mismatch")
+	}
+}
+
+func TestCodecRejectsInvalidMu(t *testing.T) {
+	for _, mu := range []float64{0, -1} {
+		if _, err := NewCodec(mu); err == nil {
+			t.Errorf("NewCodec(%v) accepted invalid μ", mu)
+		}
+	}
+}
+
+func TestCodecEmptyMessage(t *testing.T) {
+	codec, _ := NewCodec(1.0)
+	if _, err := codec.Encode(nil); !errors.Is(err, ErrEmptyMessage) {
+		t.Fatalf("err = %v, want ErrEmptyMessage", err)
+	}
+	if _, err := codec.Decode(nil, 0, nil); !errors.Is(err, ErrEmptyMessage) {
+		t.Fatalf("err = %v, want ErrEmptyMessage", err)
+	}
+}
+
+// Property: for random messages, random correctable corruption patterns
+// always decode to the original message.
+func TestPropertyDecodeWithinBudget(t *testing.T) {
+	code, _ := NewCode(40, 16)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 40)
+		rng.Read(data)
+		cw, err := code.Encode(data)
+		if err != nil {
+			return false
+		}
+		// Random split of the budget: 2e + f <= 16.
+		e := rng.Intn(9)          // 0..8
+		f := rng.Intn(17 - 2*e)   // 0..16-2e
+		perm := rng.Perm(len(cw)) // distinct positions
+		corrupted := append([]byte(nil), cw...)
+		for _, p := range perm[:e] {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		erasures := perm[e : e+f]
+		for _, p := range erasures {
+			corrupted[p] = byte(rng.Intn(256))
+		}
+		got, err := code.Decode(corrupted, erasures)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: codec round trip with random erasures up to the per-block
+// guaranteed budget always succeeds.
+func TestPropertyCodecErasures(t *testing.T) {
+	codec, _ := NewCodec(0.5)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		msg := make([]byte, 64+rng.Intn(400))
+		rng.Read(msg)
+		enc, err := codec.Encode(msg)
+		if err != nil {
+			return false
+		}
+		// Erase a random set of at most parity-per-block symbols from each
+		// block's interleaved positions; the global guaranteed fraction.
+		budget := len(enc) * codec.BlockCode().Parity() / codec.BlockCode().N()
+		count := rng.Intn(budget + 1)
+		// A contiguous burst stresses interleaving evenly.
+		start := rng.Intn(len(enc))
+		erasures := make([]int, count)
+		for i := range erasures {
+			pos := (start + i) % len(enc)
+			erasures[i] = pos
+			enc[pos] ^= byte(1 + rng.Intn(255))
+		}
+		got, err := codec.Decode(enc, len(msg), erasures)
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

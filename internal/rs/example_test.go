@@ -1,0 +1,39 @@
+package rs_test
+
+import (
+	"fmt"
+
+	"repro/internal/rs"
+)
+
+// A μ=1 codec doubles the message and tolerates erasure of just under half
+// the coded symbols — the §V-B ECC contract.
+func ExampleCodec() {
+	codec, _ := rs.NewCodec(1.0)
+	msg := []byte("neighbor discovery")
+	enc, _ := codec.Encode(msg)
+
+	// Jam a burst within the budget.
+	budget := len(enc)*codec.BlockCode().Parity()/codec.BlockCode().N() - 1
+	erasures := make([]int, budget)
+	for i := range erasures {
+		erasures[i] = i
+		enc[i] ^= 0xFF
+	}
+	got, err := codec.Decode(enc, len(msg), erasures)
+	fmt.Printf("expanded %d→%d bytes, decoded %q (err=%v)\n", len(msg), len(enc), got, err)
+	// Output: expanded 18→36 bytes, decoded "neighbor discovery" (err=<nil>)
+}
+
+// The block code corrects both unknown errors and known erasures within
+// 2·errors + erasures <= parity.
+func ExampleCode_Decode() {
+	code, _ := rs.NewCode(10, 6)
+	cw, _ := code.Encode([]byte("0123456789"))
+	cw[0] ^= 0xAA // unknown error
+	cw[7] ^= 0x55 // known erasure
+	cw[12] ^= 0x77
+	data, err := code.Decode(cw, []int{7, 12})
+	fmt.Printf("%s err=%v\n", data, err)
+	// Output: 0123456789 err=<nil>
+}

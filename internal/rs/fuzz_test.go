@@ -1,0 +1,92 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeNeverPanics feeds arbitrary received words (and erasure
+// patterns derived from them) to the block decoder: it must either decode
+// or return an error, never panic, and a successful decode must
+// re-encode-verify.
+func FuzzDecodeNeverPanics(f *testing.F) {
+	code, err := NewCode(20, 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, _ := code.Encode(bytes.Repeat([]byte{7}, 20))
+	f.Add(valid, uint8(0))
+	f.Add(bytes.Repeat([]byte{0xFF}, 30), uint8(3))
+	f.Add(make([]byte, 30), uint8(9))
+	f.Fuzz(func(t *testing.T, word []byte, erasureSeed uint8) {
+		if len(word) != code.N() {
+			return
+		}
+		// Derive up to parity erasure positions from the seed.
+		var erasures []int
+		for i := 0; i < int(erasureSeed)%11; i++ {
+			erasures = append(erasures, (i*7+int(erasureSeed))%code.N())
+		}
+		seen := map[int]bool{}
+		dedup := erasures[:0]
+		for _, e := range erasures {
+			if !seen[e] {
+				seen[e] = true
+				dedup = append(dedup, e)
+			}
+		}
+		data, err := code.Decode(word, dedup)
+		if err != nil {
+			return
+		}
+		// A successful decode must produce a valid codeword containing
+		// that data.
+		re, err := code.Encode(data)
+		if err != nil {
+			t.Fatalf("re-encode of decoded data failed: %v", err)
+		}
+		if !allZero(code.syndromes(re)) {
+			t.Fatal("re-encoded word is not a codeword")
+		}
+	})
+}
+
+// FuzzCodecRoundTrip checks that arbitrary messages survive encode/decode
+// with a burst of in-budget corruption.
+func FuzzCodecRoundTrip(f *testing.F) {
+	codec, err := NewCodec(1.0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("hello world"), uint16(3))
+	f.Add(bytes.Repeat([]byte{0xA5}, 300), uint16(50))
+	f.Add([]byte{0}, uint16(0))
+	f.Fuzz(func(t *testing.T, msg []byte, burstStart uint16) {
+		if len(msg) == 0 || len(msg) > 2048 {
+			return
+		}
+		enc, err := codec.Encode(msg)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		// Corrupt a burst within the guaranteed budget.
+		budget := len(enc)/3 - 1
+		if budget < 0 {
+			budget = 0
+		}
+		start := int(burstStart) % len(enc)
+		var erasures []int
+		for i := 0; i < budget; i++ {
+			pos := (start + i) % len(enc)
+			enc[pos] ^= 0x3C
+			erasures = append(erasures, pos)
+		}
+		got, err := codec.Decode(enc, len(msg), erasures)
+		if err != nil {
+			t.Fatalf("decode within budget failed: %v", err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

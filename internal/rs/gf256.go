@@ -1,0 +1,158 @@
+// Package rs implements Reed–Solomon codes over GF(2^8) (Reed & Solomon,
+// 1960 — reference [15] of the paper), including a systematic encoder and a
+// full errors-and-erasures decoder (syndromes, Forney syndromes,
+// Berlekamp–Massey, Chien search, Forney magnitude algorithm).
+//
+// JR-SND uses the code through the Codec wrapper: a message of k data
+// symbols is expanded to (1+μ)k symbols, which tolerates a μ/(1+μ)
+// fraction of erased symbols — exactly the ECC contract assumed in §V-B of
+// the paper ("this ECC method can tolerate up to a fraction of μ/(1+μ) bit
+// errors or losses").
+package rs
+
+// The field GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), generator α = 2.
+const primitivePoly = 0x11d
+
+type gfTables struct {
+	exp [512]byte // exp[i] = α^i, doubled to avoid mod in mul
+	log [256]byte // log[α^i] = i; log[0] unused
+}
+
+var tables = buildTables()
+
+func buildTables() *gfTables {
+	t := &gfTables{}
+	x := 1
+	for i := 0; i < 255; i++ {
+		t.exp[i] = byte(x)
+		t.log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= primitivePoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	return t
+}
+
+// gfAdd adds two field elements (XOR in characteristic 2).
+func gfAdd(a, b byte) byte { return a ^ b }
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return tables.exp[int(tables.log[a])+int(tables.log[b])]
+}
+
+// gfDiv divides a by b. b must be nonzero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("rs: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return tables.exp[int(tables.log[a])+255-int(tables.log[b])]
+}
+
+// gfInv returns the multiplicative inverse of a. a must be nonzero.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfPow returns a^n for n >= 0.
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return tables.exp[(int(tables.log[a])*n)%255]
+}
+
+// alphaPow returns α^n, for any integer n (negative allowed).
+func alphaPow(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return tables.exp[n]
+}
+
+// Polynomials are represented low-degree-first: p[i] is the coefficient of
+// x^i.
+
+// polyEval evaluates p at x using Horner's method.
+func polyEval(p []byte, x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = gfAdd(gfMul(y, x), p[i])
+	}
+	return y
+}
+
+// polyMul multiplies two polynomials.
+func polyMul(a, b []byte) []byte {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] ^= gfMul(ai, bj)
+		}
+	}
+	return out
+}
+
+// polyScale multiplies every coefficient by c.
+func polyScale(p []byte, c byte) []byte {
+	out := make([]byte, len(p))
+	for i, v := range p {
+		out[i] = gfMul(v, c)
+	}
+	return out
+}
+
+// polyAdd adds two polynomials.
+func polyAdd(a, b []byte) []byte {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	copy(out, a)
+	for i, v := range b {
+		out[i] ^= v
+	}
+	return out
+}
+
+// polyDeriv returns the formal derivative of p. In characteristic 2 the
+// even-power terms vanish: d/dx Σ p_i x^i = Σ_{i odd} p_i x^{i-1}.
+func polyDeriv(p []byte) []byte {
+	if len(p) <= 1 {
+		return []byte{0}
+	}
+	out := make([]byte, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return out
+}
+
+// polyTrim removes trailing zero coefficients (keeping at least one).
+func polyTrim(p []byte) []byte {
+	n := len(p)
+	for n > 1 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}

@@ -1,0 +1,71 @@
+// Package scenario provides deployment presets for the examples and
+// integration tests: the battlefield platoon layouts and convoy columns
+// that motivate the paper's introduction (single-authority military
+// MANETs with unpredictable encounters under jamming).
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/field"
+)
+
+// Platoons scatters numPlatoons cluster centers uniformly and places
+// perPlatoon nodes within radius of each center — the squad-based
+// structure of a battlefield deployment. It returns one position per node
+// (numPlatoons·perPlatoon total).
+func Platoons(f field.Field, numPlatoons, perPlatoon int, radius float64, rng *rand.Rand) ([]field.Point, error) {
+	if numPlatoons < 1 || perPlatoon < 1 {
+		return nil, fmt.Errorf("scenario: need at least one platoon and one member")
+	}
+	if radius <= 0 {
+		return nil, fmt.Errorf("scenario: radius %v must be positive", radius)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("scenario: rng must be set")
+	}
+	pts := make([]field.Point, 0, numPlatoons*perPlatoon)
+	for p := 0; p < numPlatoons; p++ {
+		center := f.RandomPoint(rng)
+		for i := 0; i < perPlatoon; i++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := radius * math.Sqrt(rng.Float64())
+			pts = append(pts, f.Clamp(field.Point{
+				X: center.X + r*math.Cos(ang),
+				Y: center.Y + r*math.Sin(ang),
+			}))
+		}
+	}
+	return pts, nil
+}
+
+// Convoy places n nodes in a column with the given spacing, starting at
+// start and heading along the unit vector (dx, dy) — vehicles on a road.
+func Convoy(f field.Field, n int, start field.Point, dx, dy, spacing float64, jitter float64, rng *rand.Rand) ([]field.Point, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scenario: need at least one vehicle")
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("scenario: spacing %v must be positive", spacing)
+	}
+	norm := math.Hypot(dx, dy)
+	if norm == 0 {
+		return nil, fmt.Errorf("scenario: heading vector must be nonzero")
+	}
+	dx, dy = dx/norm, dy/norm
+	pts := make([]field.Point, n)
+	for i := range pts {
+		jx, jy := 0.0, 0.0
+		if jitter > 0 && rng != nil {
+			jx = (rng.Float64()*2 - 1) * jitter
+			jy = (rng.Float64()*2 - 1) * jitter
+		}
+		pts[i] = f.Clamp(field.Point{
+			X: start.X + float64(i)*spacing*dx + jx,
+			Y: start.Y + float64(i)*spacing*dy + jy,
+		})
+	}
+	return pts, nil
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+)
+
+func testField(t *testing.T) field.Field {
+	t.Helper()
+	f, err := field.New(5000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPlatoonsLayout(t *testing.T) {
+	f := testField(t)
+	rng := rand.New(rand.NewSource(1))
+	pts, err := Platoons(f, 4, 10, 150, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 40 {
+		t.Fatalf("got %d positions, want 40", len(pts))
+	}
+	for i, p := range pts {
+		if !f.Contains(p) {
+			t.Fatalf("position %d (%v) outside the field", i, p)
+		}
+	}
+	// Members of the same platoon are within 2·radius of each other
+	// (unless clamped at a border, which the seed avoids here).
+	for platoon := 0; platoon < 4; platoon++ {
+		base := pts[platoon*10]
+		for i := 1; i < 10; i++ {
+			if d := base.Dist(pts[platoon*10+i]); d > 300+1e-9 {
+				t.Fatalf("platoon %d spread %v > 2·radius", platoon, d)
+			}
+		}
+	}
+}
+
+func TestPlatoonsValidation(t *testing.T) {
+	f := testField(t)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Platoons(f, 0, 5, 100, rng); err == nil {
+		t.Fatal("accepted zero platoons")
+	}
+	if _, err := Platoons(f, 2, 0, 100, rng); err == nil {
+		t.Fatal("accepted zero members")
+	}
+	if _, err := Platoons(f, 2, 5, 0, rng); err == nil {
+		t.Fatal("accepted zero radius")
+	}
+	if _, err := Platoons(f, 2, 5, 100, nil); err == nil {
+		t.Fatal("accepted nil rng")
+	}
+}
+
+func TestConvoyLayout(t *testing.T) {
+	f := testField(t)
+	pts, err := Convoy(f, 10, field.Point{X: 100, Y: 100}, 1, 0, 200, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("got %d positions, want 10", len(pts))
+	}
+	for i := 1; i < 10; i++ {
+		if d := pts[i-1].Dist(pts[i]); d < 199 || d > 201 {
+			t.Fatalf("spacing %v between %d and %d, want 200", d, i-1, i)
+		}
+	}
+	// Diagonal heading is normalized.
+	diag, err := Convoy(f, 3, field.Point{X: 0, Y: 0}, 3, 4, 100, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diag[0].Dist(diag[1]); d < 99 || d > 101 {
+		t.Fatalf("diagonal spacing %v, want 100", d)
+	}
+}
+
+func TestConvoyValidation(t *testing.T) {
+	f := testField(t)
+	if _, err := Convoy(f, 0, field.Point{}, 1, 0, 100, 0, nil); err == nil {
+		t.Fatal("accepted zero vehicles")
+	}
+	if _, err := Convoy(f, 2, field.Point{}, 1, 0, 0, 0, nil); err == nil {
+		t.Fatal("accepted zero spacing")
+	}
+	if _, err := Convoy(f, 2, field.Point{}, 0, 0, 100, 0, nil); err == nil {
+		t.Fatal("accepted zero heading")
+	}
+}

@@ -1,0 +1,166 @@
+// Package sim is a deterministic discrete-event simulation engine: a
+// virtual clock, a binary-heap event queue with stable FIFO ordering for
+// simultaneous events, cancellable timers, and derived random-number
+// streams so that independent subsystems draw from decoupled, reproducible
+// sources.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is virtual simulation time in seconds since the start of the run.
+type Time float64
+
+// Duration converts a virtual span in seconds to time.Duration for display.
+func (t Time) Duration() time.Duration {
+	return time.Duration(float64(t) * float64(time.Second))
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 when fired or cancelled
+}
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (e *Event) Cancelled() bool { return e == nil || e.index == -1 }
+
+// At returns the scheduled firing time.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine runs events in virtual-time order. The zero value is not usable;
+// create with NewEngine.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+	// EventLimit aborts Run after this many events (0 = no limit); it is a
+	// guard against runaway event loops in tests.
+	EventLimit uint64
+	fired      uint64
+}
+
+// ErrEventLimit is returned by Run variants when EventLimit is exceeded.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// NewEngine creates an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay (>= 0) and returns a handle that
+// can be cancelled. Events scheduled for the same instant fire in
+// scheduling order.
+func (e *Engine) Schedule(delay Time, fn func()) (*Event, error) {
+	if delay < 0 || math.IsNaN(float64(delay)) {
+		return nil, fmt.Errorf("sim: invalid delay %v", delay)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: nil event callback")
+	}
+	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// MustSchedule is Schedule for callers with statically valid arguments.
+func (e *Engine) MustSchedule(delay Time, fn func()) *Event {
+	ev, err := e.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index == -1 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step fires the earliest pending event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() error {
+	for e.Step() {
+		if e.EventLimit > 0 && e.fired > e.EventLimit {
+			return ErrEventLimit
+		}
+	}
+	return nil
+}
+
+// RunUntil fires events with firing time <= deadline, then advances the
+// clock to the deadline.
+func (e *Engine) RunUntil(deadline Time) error {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		if !e.Step() {
+			break
+		}
+		if e.EventLimit > 0 && e.fired > e.EventLimit {
+			return ErrEventLimit
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	delays := []Time{5, 1, 3, 2, 4}
+	for i, d := range delays {
+		i, d := i, d
+		e.MustSchedule(d, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 2, 4, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.MustSchedule(1, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.MustSchedule(1, func() {
+		times = append(times, e.Now())
+		e.MustSchedule(2, func() {
+			times = append(times, e.Now())
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.MustSchedule(1, func() { fired = true })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.MustSchedule(Time(i), func() { fired = append(fired, i) }))
+	}
+	for i := 5; i < 15; i++ {
+		e.Cancel(evs[i])
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10", len(fired))
+	}
+	if !sort.IntsAreSorted(fired) {
+		t.Fatalf("fired order %v not sorted", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{1, 2, 3, 4, 5} {
+		d := d
+		e.MustSchedule(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events at 1,2,3", fired)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	// RunUntil past all events advances the clock to the deadline.
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(-1, func() {}); err == nil {
+		t.Fatal("accepted negative delay")
+	}
+	if _, err := e.Schedule(1, nil); err == nil {
+		t.Fatal("accepted nil callback")
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.EventLimit = 10
+	var loop func()
+	loop = func() { e.MustSchedule(1, loop) }
+	e.MustSchedule(1, loop)
+	if err := e.Run(); err != ErrEventLimit {
+		t.Fatalf("err = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestTimeDuration(t *testing.T) {
+	if got := Time(1.5).Duration(); got.Seconds() != 1.5 {
+		t.Fatalf("Duration = %v, want 1.5s", got)
+	}
+	if got := Time(0).Duration(); got != 0 {
+		t.Fatalf("Duration(0) = %v", got)
+	}
+}
+
+func TestStreamsDeterministicAndIndependent(t *testing.T) {
+	s1 := NewStreams(7)
+	s2 := NewStreams(7)
+	// Request in different orders; same-name streams must agree.
+	a1 := s1.Get("alpha")
+	b1 := s1.Get("beta")
+	b2 := s2.Get("beta")
+	a2 := s2.Get("alpha")
+	for i := 0; i < 100; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatal("alpha streams diverge")
+		}
+		if b1.Uint64() != b2.Uint64() {
+			t.Fatal("beta streams diverge")
+		}
+	}
+	// Get returns the same underlying stream instance per name.
+	if s1.Get("alpha") != a1 {
+		t.Fatal("Get created a second instance for the same name")
+	}
+	// Different seeds differ.
+	s3 := NewStreams(8)
+	same := true
+	c := s3.Get("alpha")
+	ref := NewStreams(7).Get("alpha")
+	for i := 0; i < 10; i++ {
+		if c.Uint64() != ref.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// Property: for any batch of random delays, events fire in nondecreasing
+// time order and the clock never runs backwards.
+func TestPropertyMonotoneClock(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		prev := Time(-1)
+		ok := true
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			e.MustSchedule(Time(rng.Float64()*100), func() {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+				// Occasionally schedule follow-ups.
+				if rng.Intn(4) == 0 {
+					e.MustSchedule(Time(rng.Float64()*10), func() {
+						if e.Now() < prev {
+							ok = false
+						}
+						prev = e.Now()
+					})
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand"
+)
+
+// Streams hands out independent, reproducible random sources derived from a
+// master seed, one per named subsystem. Two Streams built from the same
+// seed produce identical sequences per name, regardless of the order in
+// which names are first requested.
+type Streams struct {
+	seed int64
+	used map[string]*rand.Rand
+}
+
+// NewStreams creates a stream factory rooted at seed.
+func NewStreams(seed int64) *Streams {
+	return &Streams{seed: seed, used: map[string]*rand.Rand{}}
+}
+
+// Get returns the stream for name, creating it deterministically on first
+// use.
+func (s *Streams) Get(name string) *rand.Rand {
+	if r, ok := s.used[name]; ok {
+		return r
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(s.seed))
+	h := sha256.New()
+	h.Write([]byte("jrsnd-stream"))
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	sum := h.Sum(nil)
+	r := rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(sum[:8]))))
+	s.used[name] = r
+	return r
+}

@@ -1,0 +1,28 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Sample accumulates observations streaming-fashion; the campaign uses it
+// for per-point confidence intervals.
+func ExampleSample() {
+	var s stats.Sample
+	for _, x := range []float64{0.72, 0.74, 0.73, 0.75, 0.71} {
+		s.Add(x)
+	}
+	fmt.Printf("mean=%.3f n=%d ci95>0=%v\n", s.Mean(), s.N(), s.CI95() > 0)
+	// Output: mean=0.730 n=5 ci95>0=true
+}
+
+// Histograms feed the latency quantiles (TD50/TD95) of PointMeasure.
+func ExampleHistogram() {
+	h, _ := stats.NewHistogram(0, 10, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%100) / 10) // uniform over [0, 10)
+	}
+	fmt.Printf("count=%d median≈%.1f\n", h.Count(), h.Quantile(0.5))
+	// Output: count=1000 median≈5.0
+}

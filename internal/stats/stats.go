@@ -1,0 +1,172 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: streaming mean/variance (Welford), Student-t confidence
+// intervals for the per-point Monte-Carlo averages, and fixed-bin
+// histograms for latency distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample accumulates observations with Welford's streaming algorithm.
+// The zero value is an empty sample.
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if s.n < 1 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the 95% Student-t confidence interval of
+// the mean (0 for n < 2).
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return tCritical95(s.n-1) * s.StdErr()
+}
+
+// String renders "mean ± ci95 (n=N)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean(), s.CI95(), s.n)
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (table for small df, normal limit beyond).
+func tCritical95(df int) float64 {
+	table := []float64{
+		0, // df=0 unused
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	switch {
+	case df < 40:
+		return 2.030
+	case df < 60:
+		return 2.009
+	case df < 120:
+		return 1.990
+	default:
+		return 1.960
+	}
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); values outside the
+// range are clamped into the edge bins.
+type Histogram struct {
+	lo, hi float64
+	bins   []int
+	count  int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: invalid range [%v, %v)", lo, hi)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: bin count %d must be >= 1", bins)
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.count++
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int { return h.count }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int { return h.bins[i] }
+
+// NumBins returns the number of bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// Merge adds the counts of other into h. The histograms must share the
+// same range and bin count; a nil other is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if other.lo != h.lo || other.hi != h.hi || len(other.bins) != len(h.bins) {
+		panic("stats: merging histograms with different geometry")
+	}
+	for i, c := range other.bins {
+		h.bins[i] += c
+	}
+	h.count += other.count
+}
+
+// Quantile returns an approximate q-quantile (q in [0,1]) using the bin
+// midpoints.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	cum := 0.0
+	width := (h.hi - h.lo) / float64(len(h.bins))
+	for i, c := range h.bins {
+		cum += float64(c)
+		if cum >= target {
+			return h.lo + (float64(i)+0.5)*width
+		}
+	}
+	return h.hi
+}

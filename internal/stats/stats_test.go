@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Fatal("zero-value sample not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 must be positive for n >= 2")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSampleMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var s Sample
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		s.Add(xs[i])
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var variance float64
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs) - 1)
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Fatalf("streaming mean %v vs two-pass %v", s.Mean(), mean)
+	}
+	if math.Abs(s.Variance()-variance) > 1e-9 {
+		t.Fatalf("streaming variance %v vs two-pass %v", s.Variance(), variance)
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// Empirical check: the 95% CI of the mean of N(0,1) samples covers 0
+	// about 95% of the time.
+	rng := rand.New(rand.NewSource(2))
+	const trials = 800
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		var s Sample
+		for i := 0; i < 20; i++ {
+			s.Add(rng.NormFloat64())
+		}
+		if math.Abs(s.Mean()) <= s.CI95() {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Fatalf("CI coverage %v, want ≈ 0.95", rate)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if !math.IsInf(tCritical95(0), 1) {
+		t.Fatal("df=0 must be infinite")
+	}
+	if tCritical95(1) != 12.706 {
+		t.Fatal("df=1 wrong")
+	}
+	if tCritical95(1000) != 1.960 {
+		t.Fatal("large df must approach the normal value")
+	}
+	// Monotone decreasing.
+	prev := math.Inf(1)
+	for df := 1; df < 200; df++ {
+		cur := tCritical95(df)
+		if cur > prev {
+			t.Fatalf("t-critical increased at df=%d", df)
+		}
+		prev = cur
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Fatal("accepted empty range")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("accepted zero bins")
+	}
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	if h.Count() != 100 || h.NumBins() != 10 {
+		t.Fatalf("count=%d bins=%d", h.Count(), h.NumBins())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bin(i) != 10 {
+			t.Fatalf("bin %d = %d, want 10", i, h.Bin(i))
+		}
+	}
+	// Clamping.
+	h.Add(-5)
+	h.Add(99)
+	if h.Bin(0) != 11 || h.Bin(9) != 11 {
+		t.Fatal("out-of-range values not clamped to edge bins")
+	}
+	// Median of a uniform [0,10) histogram ≈ 5.
+	if q := h.Quantile(0.5); q < 4 || q > 6 {
+		t.Fatalf("median %v, want ≈ 5", q)
+	}
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+	empty, _ := NewHistogram(0, 1, 2)
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram(0, 10, 5)
+	b, _ := NewHistogram(0, 10, 5)
+	a.Add(1)
+	b.Add(1)
+	b.Add(9)
+	a.Merge(b)
+	if a.Count() != 3 || a.Bin(0) != 2 || a.Bin(4) != 1 {
+		t.Fatalf("merge wrong: count=%d bins=[%d..%d]", a.Count(), a.Bin(0), a.Bin(4))
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 3 {
+		t.Fatal("nil merge changed the histogram")
+	}
+	mismatched, _ := NewHistogram(0, 5, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched merge did not panic")
+		}
+	}()
+	a.Merge(mismatched)
+}
+
+// Property: mean lies within [min, max] and variance is non-negative for
+// any input sequence.
+func TestPropertySampleBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true // skip inputs whose squares overflow float64
+			}
+			s.Add(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= lo-1e-9 && s.Mean() <= hi+1e-9 && s.Variance() >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace provides structured event tracing for the protocol
+// engine: a bounded in-memory recorder that protocol components emit typed
+// events into, with filtering and text rendering. Traces make the
+// four-message D-NDP dance and the M-NDP flood inspectable in tests and
+// examples without print-debugging the engine.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+// Event kinds.
+const (
+	KindTx Kind = iota + 1
+	KindJammed
+	KindRx
+	KindDiscovery
+	KindExpiry
+	KindRevocation
+	KindDrop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTx:
+		return "tx"
+	case KindJammed:
+		return "jammed"
+	case KindRx:
+		return "rx"
+	case KindDiscovery:
+		return "discovery"
+	case KindExpiry:
+		return "expiry"
+	case KindRevocation:
+		return "revocation"
+	case KindDrop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	At     float64 // virtual time (s)
+	Kind   Kind
+	Node   int    // acting node (-1 when not applicable)
+	Peer   int    // counterpart node (-1 when not applicable)
+	Detail string // free-form context ("HELLO code=17", "via M-NDP", …)
+}
+
+// String renders the event as one line.
+func (e Event) String() string {
+	switch {
+	case e.Node >= 0 && e.Peer >= 0:
+		return fmt.Sprintf("%10.6fs %-10s node=%d peer=%d %s", e.At, e.Kind, e.Node, e.Peer, e.Detail)
+	case e.Node >= 0:
+		return fmt.Sprintf("%10.6fs %-10s node=%d %s", e.At, e.Kind, e.Node, e.Detail)
+	default:
+		return fmt.Sprintf("%10.6fs %-10s %s", e.At, e.Kind, e.Detail)
+	}
+}
+
+// Recorder collects events up to a capacity, then drops the oldest
+// (ring-buffer semantics). A nil *Recorder is a valid no-op sink, so
+// callers can emit unconditionally.
+type Recorder struct {
+	cap     int
+	events  []Event
+	start   int // ring start index
+	dropped int
+}
+
+// NewRecorder creates a recorder holding at most capacity events.
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("trace: capacity %d must be >= 1", capacity)
+	}
+	return &Recorder{cap: capacity, events: make([]Event, 0, capacity)}, nil
+}
+
+// Emit records an event. Safe on a nil receiver.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.start] = e
+	r.start = (r.start + 1) % r.cap
+	r.dropped++
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Dropped returns how many events were evicted.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Events returns the retained events in chronological order (a copy).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.events))
+	for i := 0; i < len(r.events); i++ {
+		out = append(out, r.events[(r.start+i)%len(r.events)])
+	}
+	return out
+}
+
+// Filter returns the retained events matching all non-zero criteria: kind
+// (0 = any), node (-1 = any; matches Node or Peer), and substring (empty =
+// any).
+func (r *Recorder) Filter(kind Kind, node int, substring string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if kind != 0 && e.Kind != kind {
+			continue
+		}
+		if node >= 0 && e.Node != node && e.Peer != node {
+			continue
+		}
+		if substring != "" && !strings.Contains(e.Detail, substring) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump writes all retained events to w, one per line.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d earlier events dropped)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counts aggregates retained events per kind.
+func (r *Recorder) Counts() map[Kind]int {
+	out := map[Kind]int{}
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

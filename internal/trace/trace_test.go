@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Fatal("accepted zero capacity")
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Kind: KindTx})
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must behave as empty")
+	}
+}
+
+func TestEmitAndOrder(t *testing.T) {
+	r, err := NewRecorder(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{At: float64(i), Kind: KindTx, Node: i})
+	}
+	events := r.Events()
+	if len(events) != 5 {
+		t.Fatalf("Len = %d, want 5", len(events))
+	}
+	for i, e := range events {
+		if e.Node != i {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r, _ := NewRecorder(3)
+	for i := 0; i < 7; i++ {
+		r.Emit(Event{At: float64(i), Kind: KindRx, Node: i})
+	}
+	if r.Len() != 3 || r.Dropped() != 4 {
+		t.Fatalf("len=%d dropped=%d, want 3/4", r.Len(), r.Dropped())
+	}
+	events := r.Events()
+	for i, want := range []int{4, 5, 6} {
+		if events[i].Node != want {
+			t.Fatalf("ring order wrong: %+v", events)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r, _ := NewRecorder(16)
+	r.Emit(Event{Kind: KindTx, Node: 1, Peer: 2, Detail: "HELLO code=5"})
+	r.Emit(Event{Kind: KindJammed, Node: 1, Peer: -1, Detail: "AUTH1 code=5"})
+	r.Emit(Event{Kind: KindDiscovery, Node: 2, Peer: 1, Detail: "via D-NDP"})
+	r.Emit(Event{Kind: KindTx, Node: 3, Peer: -1, Detail: "CONFIRM code=9"})
+
+	if got := r.Filter(KindTx, -1, ""); len(got) != 2 {
+		t.Fatalf("kind filter: %d events, want 2", len(got))
+	}
+	if got := r.Filter(0, 1, ""); len(got) != 3 {
+		t.Fatalf("node filter: %d events, want 3 (node or peer = 1)", len(got))
+	}
+	if got := r.Filter(0, -1, "code=5"); len(got) != 2 {
+		t.Fatalf("substring filter: %d events, want 2", len(got))
+	}
+	if got := r.Filter(KindTx, 3, "CONFIRM"); len(got) != 1 {
+		t.Fatalf("combined filter: %d events, want 1", len(got))
+	}
+}
+
+func TestDumpAndCounts(t *testing.T) {
+	r, _ := NewRecorder(2)
+	r.Emit(Event{At: 0.5, Kind: KindTx, Node: 1, Peer: 2, Detail: "x"})
+	r.Emit(Event{At: 0.6, Kind: KindExpiry, Node: 1, Peer: -1, Detail: "y"})
+	r.Emit(Event{At: 0.7, Kind: KindRevocation, Node: -1, Peer: -1, Detail: "z"})
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "expiry") || !strings.Contains(out, "revocation") {
+		t.Fatalf("dump missing events:\n%s", out)
+	}
+	if !strings.Contains(out, "1 earlier events dropped") {
+		t.Fatalf("dump missing dropped note:\n%s", out)
+	}
+	counts := r.Counts()
+	if counts[KindExpiry] != 1 || counts[KindRevocation] != 1 || counts[KindTx] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindTx, KindJammed, KindRx, KindDiscovery, KindExpiry, KindRevocation, KindDrop} {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown kind must say so")
+	}
+}

@@ -1,0 +1,268 @@
+// Package jrsnd is a from-scratch Go implementation of JR-SND —
+// Jamming-Resilient Secure Neighbor Discovery in Mobile Ad Hoc Networks
+// (Zhang, Zhang, Huang; ICDCS 2011) — together with every substrate the
+// paper depends on and the full evaluation harness that regenerates its
+// tables and figures.
+//
+// JR-SND combines Direct Sequence Spread Spectrum with random spread-code
+// pre-distribution: before deployment, a single MANET authority loads each
+// node with m spread codes drawn from a secret pool such that any two
+// nodes share a code with high probability and each code is known to at
+// most l nodes. Nodes then discover and mutually authenticate each other
+// despite omnipresent jammers, either directly over a shared code (D-NDP,
+// §V-B of the paper) or through a multi-hop path of already-discovered
+// neighbors (M-NDP, §V-C).
+//
+// # Layers
+//
+//   - Theory: closed-form performance model (Theorems 1–4); see
+//     DefaultParams, DNDPBounds, DNDPLatency, MNDPLowerBound, MNDPLatency.
+//   - Protocol engine: an event-driven simulation of the full protocol —
+//     HELLO/CONFIRM/authentication exchanges, the x-sub-session redundancy
+//     design, M-NDP signed request flooding, the DoS revocation defence —
+//     over a message-level radio with random/reactive/intelligent jammers;
+//     see New and NetworkConfig.
+//   - Chip level: a real DSSS PHY (±1 chip sequences, correlation
+//     de-spreading, sliding-window synchronization, Reed–Solomon erasure
+//     coding) validating the message-level jamming model; see the
+//     internal/dsss and internal/rs packages and the jamming-sweep example.
+//   - Experiments: Monte-Carlo campaigns that reproduce every figure of
+//     the paper's evaluation; see Fig2a through Fig5b, DSSSValidation and
+//     DoSExperiment.
+//
+// # Quick start
+//
+//	params := jrsnd.DefaultParams()
+//	params.N, params.L, params.Q = 50, 10, 2
+//	net, err := jrsnd.New(jrsnd.NetworkConfig{
+//		Params: params,
+//		Seed:   1,
+//		Jammer: jrsnd.JamReactive,
+//	})
+//	if err != nil { ... }
+//	if _, err := net.CompromiseRandom(params.Q); err != nil { ... }
+//	if err := net.RunDNDP(1); err != nil { ... }   // D-NDP round
+//	if err := net.RunMNDP(1); err != nil { ... }   // M-NDP round
+//	for _, d := range net.Discoveries() { ... }
+//
+// See the examples directory for complete runnable programs and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package jrsnd
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/trace"
+)
+
+// Params is the full Table I parameter set of the paper.
+type Params = analysis.Params
+
+// DefaultParams returns the paper's default evaluation parameters
+// (Table I).
+func DefaultParams() Params { return analysis.Defaults() }
+
+// Network is a simulated JR-SND deployment: nodes with pre-distributed
+// spread codes and ID-based keys, a shared radio medium, and a configurable
+// jammer.
+type Network = core.Network
+
+// NetworkConfig configures a deployment; see core.NetworkConfig.
+type NetworkConfig = core.NetworkConfig
+
+// Node is one MANET node running JR-SND.
+type Node = core.Node
+
+// Neighbor is an authenticated logical-neighbor relationship.
+type Neighbor = core.Neighbor
+
+// PairDiscovery records a completed mutual discovery.
+type PairDiscovery = core.PairDiscovery
+
+// DoSReport aggregates the verification work a DoS attack forced.
+type DoSReport = core.DoSReport
+
+// EpochConfig and EpochStats drive Network.RunEpochs, the periodic
+// mobility + re-discovery loop.
+type (
+	EpochConfig = core.EpochConfig
+	EpochStats  = core.EpochStats
+)
+
+// JammerKind selects the adversary model of §IV-B.
+type JammerKind = core.JammerKind
+
+// Jammer models for NetworkConfig.Jammer.
+const (
+	JamNone        = core.JamNone
+	JamRandom      = core.JamRandom
+	JamReactive    = core.JamReactive
+	JamIntelligent = core.JamIntelligent
+)
+
+// Discovery methods reported in PairDiscovery.Via.
+const (
+	ViaDNDP = core.ViaDNDP
+	ViaMNDP = core.ViaMNDP
+)
+
+// New creates a simulated JR-SND deployment. Nodes are issued keys and
+// spread codes and attached to the medium; call CompromiseRandom and the
+// Run methods to exercise the protocols.
+func New(cfg NetworkConfig) (*Network, error) { return core.NewNetwork(cfg) }
+
+// Theory — the closed-form model of §VI-A.
+
+// PrShared returns Pr[x] (Eq. 1): the probability two nodes share exactly
+// x spread codes.
+func PrShared(p Params, x int) float64 { return analysis.PrShared(p, x) }
+
+// Alpha returns α (Eq. 2): the probability any given pool code is
+// compromised after q node compromises.
+func Alpha(p Params) float64 { return analysis.Alpha(p) }
+
+// DNDPBounds returns (P̂−, P̂+) of Theorem 1: the D-NDP discovery
+// probability under reactive (lower) and random (upper) jamming.
+func DNDPBounds(p Params) (lower, upper float64) { return analysis.DNDPBounds(p) }
+
+// DNDPLatency returns T̄_D of Theorem 2.
+func DNDPLatency(p Params) float64 { return analysis.DNDPLatency(p) }
+
+// MNDPLowerBound returns the Theorem 3 bound on P̂_M for ν = 2 given the
+// D-NDP probability and the average physical degree g.
+func MNDPLowerBound(pd, g float64) float64 { return analysis.MNDPLowerBound(pd, g) }
+
+// MNDPLatency returns T̄_M of Theorem 4 for a ν-hop path and degree g.
+func MNDPLatency(p Params, nu int, g float64) float64 { return analysis.MNDPLatency(p, nu, g) }
+
+// Combined returns the JR-SND totals P̂ and T̄ from the theory model.
+func Combined(p Params) (pHat, tBar float64) { return analysis.Combined(p) }
+
+// Experiments — Monte-Carlo reproductions of the paper's figures.
+
+// Figure is the reproduction of one paper figure or table.
+type Figure = experiment.Figure
+
+// Series is one plotted curve of a Figure.
+type Series = experiment.Series
+
+// SweepConfig configures a figure reproduction run.
+type SweepConfig = experiment.SweepConfig
+
+// PointConfig and PointMeasure drive single-point campaigns.
+type (
+	PointConfig  = experiment.PointConfig
+	PointMeasure = experiment.PointMeasure
+)
+
+// JammerModel selects the adversary for campaign experiments.
+type JammerModel = experiment.JammerModel
+
+// Campaign jammer models.
+const (
+	CampaignJamNone     = experiment.JamNone
+	CampaignJamRandom   = experiment.JamRandom
+	CampaignJamReactive = experiment.JamReactive
+)
+
+// MeasurePoint runs the Monte-Carlo campaign for one parameter point.
+func MeasurePoint(cfg PointConfig) (PointMeasure, error) { return experiment.MeasurePoint(cfg) }
+
+// Fig2a reproduces Fig. 2(a): impact of m on P̂.
+func Fig2a(cfg SweepConfig) (Figure, error) { return experiment.Fig2a(cfg) }
+
+// Fig2b reproduces Fig. 2(b): impact of m on T̄.
+func Fig2b(cfg SweepConfig) (Figure, error) { return experiment.Fig2b(cfg) }
+
+// Fig3a reproduces Fig. 3(a): P̂ versus l.
+func Fig3a(cfg SweepConfig) (Figure, error) { return experiment.Fig3a(cfg) }
+
+// Fig3b reproduces Fig. 3(b): P̂ versus n.
+func Fig3b(cfg SweepConfig) (Figure, error) { return experiment.Fig3b(cfg) }
+
+// Fig4 reproduces Fig. 4 at the given l (40 for 4(a), 20 for 4(b)).
+func Fig4(cfg SweepConfig, l int) (Figure, error) { return experiment.Fig4(cfg, l) }
+
+// Fig5a reproduces Fig. 5(a): impact of ν on P̂ at P̂_D ≈ 0.2.
+func Fig5a(cfg SweepConfig) (Figure, error) { return experiment.Fig5a(cfg) }
+
+// Fig5b reproduces Fig. 5(b): T̄ versus ν.
+func Fig5b(cfg SweepConfig) (Figure, error) { return experiment.Fig5b(cfg) }
+
+// DSSSValidation sweeps the chip-level jam fraction, validating the
+// μ/(1+μ) ECC contract the jamming model relies on.
+func DSSSValidation(seed int64, trialsPerPoint int) (Figure, error) {
+	return experiment.DSSSValidation(seed, trialsPerPoint)
+}
+
+// DoSExperiment measures the verification work a compromised-code DoS
+// attacker can force, with and without the §V-D revocation defence.
+func DoSExperiment(seed int64, rounds int) (Figure, error) {
+	return experiment.DoSExperiment(seed, rounds)
+}
+
+// Table1 reproduces Table I with the derived §V-B quantities.
+func Table1() Figure { return experiment.Table1() }
+
+// PrintFigure renders a figure as an aligned text table.
+func PrintFigure(w io.Writer, f Figure) error { return experiment.Print(w, f) }
+
+// WriteFigureCSV emits a figure as CSV.
+func WriteFigureCSV(w io.Writer, f Figure) error { return experiment.WriteCSV(w, f) }
+
+// Tracing — structured protocol-event recording (NetworkConfig.Trace).
+
+// TraceRecorder collects protocol events during a simulation.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one recorded protocol event.
+type TraceEvent = trace.Event
+
+// NewTraceRecorder creates a bounded event recorder to pass in
+// NetworkConfig.Trace.
+func NewTraceRecorder(capacity int) (*TraceRecorder, error) { return trace.NewRecorder(capacity) }
+
+// Baselines — the schemes the paper argues against (§I/§II).
+
+// Baseline scheme types; see internal/baseline for the comparison
+// experiments built on them (BaselineQ, BaselineLatency, BaselineDoS in
+// cmd/jrsnd-sim).
+type (
+	BaselineCommonCode    = baseline.CommonCode
+	BaselinePairwiseCode  = baseline.PairwiseCode
+	BaselinePublicCodeSet = baseline.PublicCodeSet
+	BaselineUFH           = baseline.UFH
+)
+
+// DefaultUFH returns UFH parameters in the regime of the paper's ref [3].
+func DefaultUFH() BaselineUFH { return baseline.DefaultUFH() }
+
+// ExtAntennas, ExtAdaptiveNu and GoldComparison run the extension
+// experiments (the paper's named future work and code-family comparison).
+func ExtAntennas(base Params) (Figure, error) { return experiment.ExtAntennas(base) }
+
+// ExtAdaptiveNu measures the dynamic-ν controller of §VI-B.
+func ExtAdaptiveNu(cfg SweepConfig, targets []float64, maxNu int) (Figure, error) {
+	return experiment.ExtAdaptiveNu(cfg, targets, maxNu)
+}
+
+// GoldComparison contrasts pseudorandom and Gold spreading codes.
+func GoldComparison(seed int64, familySize, trials int) (Figure, error) {
+	return experiment.GoldComparison(seed, familySize, trials)
+}
+
+// BaselineQ, BaselineLatency and BaselineDoS quantify the §I/§II
+// comparisons.
+func BaselineQ(cfg SweepConfig) (Figure, error) { return experiment.BaselineQ(cfg) }
+
+// BaselineLatency compares D-NDP latency with UFH key establishment.
+func BaselineLatency(base Params, seed int64, samples int) (Figure, error) {
+	return experiment.BaselineLatency(base, seed, samples)
+}
+
+// BaselineDoS contrasts DoS verification loads across schemes.
+func BaselineDoS(base Params) (Figure, error) { return experiment.BaselineDoS(base) }
