@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test tier1 race bench report
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# tier1 is the full quality gate: vet plus the whole suite under the race
+# detector (the trace sinks and metric registry are exercised concurrently).
+tier1: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+report:
+	$(GO) run ./cmd/jrsnd-report -runs 20 -o report.md

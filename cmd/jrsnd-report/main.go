@@ -12,27 +12,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 )
 
 func main() {
 	var (
-		runs = flag.Int("runs", 20, "Monte-Carlo runs per parameter point")
-		seed = flag.Int64("seed", 1, "base random seed")
-		n    = flag.Int("n", 0, "override node count (0 = Table I default)")
-		out  = flag.String("o", "", "output file (default stdout)")
+		runs   = flag.Int("runs", 20, "Monte-Carlo runs per parameter point")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		n      = flag.Int("n", 0, "override node count (0 = Table I default)")
+		out    = flag.String("o", "", "output file (default stdout)")
+		mfiles = flag.String("metrics", "", "comma-separated metric snapshots (from jrsnd-sim -metrics, JSON or Prometheus text) to merge into a Telemetry section")
+		monly  = flag.Bool("telemetry-only", false, "with -metrics, write only the Telemetry section and skip the experiment sweep")
 	)
 	flag.Parse()
-	if err := run(*runs, *seed, *n, *out); err != nil {
+	var paths []string
+	if *mfiles != "" {
+		for _, p := range strings.Split(*mfiles, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
+			}
+		}
+	}
+	if *monly && len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "jrsnd-report: -telemetry-only requires -metrics")
+		os.Exit(2)
+	}
+	if err := run(*runs, *seed, *n, *out, paths, *monly); err != nil {
 		fmt.Fprintln(os.Stderr, "jrsnd-report:", err)
 		os.Exit(1)
 	}
 }
 
-func run(runs int, seed int64, n int, out string) error {
+func run(runs int, seed int64, n int, out string, metricPaths []string, telemetryOnly bool) error {
 	base := analysis.Defaults()
 	if n > 0 {
 		base.N = n
@@ -49,6 +65,17 @@ func run(runs int, seed int64, n int, out string) error {
 		defer f.Close()
 		w = f
 	}
+	var telemetry *metrics.Snapshot
+	if len(metricPaths) > 0 {
+		agg, err := mergeSnapshots(metricPaths)
+		if err != nil {
+			return err
+		}
+		telemetry = &agg
+	}
+	if telemetryOnly {
+		return writeTelemetry(w, *telemetry, metricPaths)
+	}
 	report, err := experiment.BuildReport(experiment.SweepConfig{
 		Base:   base,
 		Runs:   runs,
@@ -60,6 +87,11 @@ func run(runs int, seed int64, n int, out string) error {
 	}
 	if err := experiment.WriteMarkdown(w, report); err != nil {
 		return err
+	}
+	if telemetry != nil {
+		if err := writeTelemetry(w, *telemetry, metricPaths); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "report built in %v\n", time.Since(start).Round(time.Second))
 	failed := 0

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 func TestRunScaledDown(t *testing.T) {
@@ -15,7 +17,7 @@ func TestRunScaledDown(t *testing.T) {
 	// n=400 keeps the pass fast; some absolute-anchor claims are tuned to
 	// n=2000 and may fail at this scale, which run() reports as an error —
 	// accept either outcome but require the report file to be complete.
-	err := run(1, 1, 400, out)
+	err := run(1, 1, 400, out, nil, false)
 	data, readErr := os.ReadFile(out)
 	if readErr != nil {
 		t.Fatalf("report not written: %v (run err: %v)", readErr, err)
@@ -30,7 +32,73 @@ func TestRunScaledDown(t *testing.T) {
 
 func TestRunRejectsBadOutput(t *testing.T) {
 	// The output file opens before the evaluation, so this fails fast.
-	if err := run(1, 1, 400, "/nonexistent-dir/x/report.md"); err == nil {
+	if err := run(1, 1, 400, "/nonexistent-dir/x/report.md", nil, false); err == nil {
 		t.Fatal("accepted unwritable output path")
+	}
+}
+
+// TestTelemetryMerge exercises the snapshot-aggregation path end to end:
+// two snapshots in the two supported formats merge into one Telemetry
+// section with summed counters.
+func TestTelemetryMerge(t *testing.T) {
+	dir := t.TempDir()
+
+	reg := metrics.New()
+	reg.Counter("jrsnd_core_tx_total", "transmissions").Add(7)
+	reg.Histogram("jrsnd_core_discovery_latency_seconds", "latency",
+		[]float64{0.1, 1}).Observe(0.05)
+	snap := reg.Snapshot()
+
+	promPath := filepath.Join(dir, "a.prom")
+	jsonPath := filepath.Join(dir, "b.json")
+	pf, err := os.Create(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WritePrometheus(pf, snap); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WriteJSON(jf, snap); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	out := filepath.Join(dir, "telemetry.md")
+	if err := run(1, 1, 400, out, []string{promPath, jsonPath}, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "## Telemetry") {
+		t.Fatal("missing Telemetry section")
+	}
+	if !strings.Contains(text, "| `jrsnd_core_tx_total` | 14 |") {
+		t.Fatalf("counters did not sum across snapshots:\n%s", text)
+	}
+	if !strings.Contains(text, "jrsnd_core_discovery_latency_seconds") {
+		t.Fatal("missing merged histogram row")
+	}
+}
+
+// TestTelemetryMergeRejectsGarbage checks load errors surface per file.
+func TestTelemetryMergeRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.prom")
+	if err := os.WriteFile(bad, []byte("not a snapshot\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mergeSnapshots([]string{bad}); err == nil {
+		t.Fatal("merged a garbage snapshot")
+	}
+	if _, err := mergeSnapshots([]string{filepath.Join(dir, "missing.prom")}); err == nil {
+		t.Fatal("merged a missing snapshot")
 	}
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// loadSnapshot reads one metric snapshot, accepting either of the formats
+// jrsnd-sim writes: JSON (sniffed by a leading '{') or Prometheus text.
+func loadSnapshot(path string) (metrics.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			return metrics.Snapshot{}, fmt.Errorf("%s: empty snapshot", path)
+		}
+		if b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r' {
+			_, _ = br.Discard(1)
+			continue
+		}
+		if b[0] == '{' {
+			return metrics.ReadJSON(br)
+		}
+		return metrics.ParsePrometheus(br)
+	}
+}
+
+// mergeSnapshots loads every file and folds it into one aggregate:
+// counters and histograms sum, gauges keep their high-water maximum.
+func mergeSnapshots(paths []string) (metrics.Snapshot, error) {
+	agg := metrics.NewSnapshot()
+	for _, p := range paths {
+		s, err := loadSnapshot(p)
+		if err != nil {
+			return metrics.Snapshot{}, fmt.Errorf("load %s: %w", p, err)
+		}
+		if err := agg.Merge(s); err != nil {
+			return metrics.Snapshot{}, fmt.Errorf("merge %s: %w", p, err)
+		}
+	}
+	return agg, nil
+}
+
+// writeTelemetry renders the merged snapshot as a Markdown section.
+func writeTelemetry(w io.Writer, s metrics.Snapshot, paths []string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "\n## Telemetry\n\n")
+	fmt.Fprintf(bw, "Aggregated from %d snapshot(s): %s. Counters and histograms sum\n",
+		len(paths), strings.Join(paths, ", "))
+	fmt.Fprintf(bw, "across runs; gauges keep their high-water maximum.\n\n")
+
+	if names := s.SortedCounterNames(); len(names) > 0 {
+		fmt.Fprintf(bw, "| counter | total |\n|---|---:|\n")
+		for _, name := range names {
+			fmt.Fprintf(bw, "| `%s` | %d |\n", name, s.Counters[name])
+		}
+		fmt.Fprintln(bw)
+	}
+	if names := s.SortedGaugeNames(); len(names) > 0 {
+		fmt.Fprintf(bw, "| gauge | max |\n|---|---:|\n")
+		for _, name := range names {
+			fmt.Fprintf(bw, "| `%s` | %g |\n", name, s.Gauges[name])
+		}
+		fmt.Fprintln(bw)
+	}
+	if names := s.SortedHistogramNames(); len(names) > 0 {
+		fmt.Fprintf(bw, "| histogram | count | mean | p50 | p95 |\n|---|---:|---:|---:|---:|\n")
+		for _, name := range names {
+			h := s.Histograms[name]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(bw, "| `%s` | %d | %.4g | %.4g | %.4g |\n",
+				name, h.Count, mean, h.Quantile(0.5), h.Quantile(0.95))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

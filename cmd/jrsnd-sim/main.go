@@ -13,12 +13,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -33,11 +38,20 @@ func main() {
 		point   = flag.Bool("point", false, "instead of a figure, measure a single point at the (possibly overridden) parameters and print it with 95% confidence intervals")
 		q       = flag.Int("q", -1, "override compromised-node count (with -point)")
 		list    = flag.Bool("list", false, "list the available experiment ids and exit")
+		mfile   = flag.String("metrics", "", "run one instrumented protocol-engine deployment and write the metric snapshot here (.json for JSON, anything else for Prometheus text)")
+		tfile   = flag.String("trace-jsonl", "", "with an instrumented deployment, stream protocol trace events to this JSONL file")
 	)
 	flag.Parse()
 	if *list {
 		for _, id := range experimentIDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *mfile != "" || *tfile != "" {
+		if err := runInstrumented(*mfile, *tfile, *seed, *jammer, *n, *q); err != nil {
+			fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -174,6 +188,124 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// coreJammer maps the -jammer flag to the protocol engine's adversary kind.
+func coreJammer(jammer string) (core.JammerKind, error) {
+	switch jammer {
+	case "none":
+		return core.JamNone, nil
+	case "random":
+		return core.JamRandom, nil
+	case "reactive":
+		return core.JamReactive, nil
+	default:
+		return 0, fmt.Errorf("unknown jammer %q", jammer)
+	}
+}
+
+// runInstrumented runs one fully instrumented protocol-engine deployment
+// (D-NDP followed by M-NDP) and writes the metric snapshot and, optionally,
+// the streaming trace. Default deployment: 50 nodes under Table I density.
+func runInstrumented(metricsPath, jsonlPath string, seed int64, jammer string, n, q int) error {
+	jk, err := coreJammer(jammer)
+	if err != nil {
+		return err
+	}
+	p := analysis.Defaults()
+	if n <= 0 {
+		n = 50
+	}
+	if n != p.N {
+		// Shrink the field with the node count so the physical-neighbor
+		// density (and with it the protocol behavior) matches Table I.
+		f := math.Sqrt(float64(n) / float64(p.N))
+		p.FieldWidth *= f
+		p.FieldHeight *= f
+		p.M = max(10, p.M*n/p.N)
+		p.L = max(4, p.L*n/p.N)
+		if p.L > p.M {
+			p.L = p.M
+		}
+		p.Q = p.Q * n / p.N
+		p.N = n
+	}
+	if q >= 0 {
+		p.Q = q
+	} else if p.Q == 0 {
+		p.Q = max(1, n/10) // give a reactive jammer codes to chase
+	}
+
+	reg := metrics.New()
+	// Open both outputs before the (comparatively long) run so path errors
+	// fail fast.
+	var mout *os.File
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		mout = f
+	}
+	var sink trace.Sink
+	var jsonl *trace.JSONLWriter
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl = trace.NewJSONLWriter(f)
+		sink = jsonl
+	}
+
+	net, err := core.NewNetwork(core.NetworkConfig{
+		Params:  p,
+		Seed:    seed,
+		Jammer:  jk,
+		Trace:   sink,
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := net.CompromiseRandom(p.Q); err != nil {
+		return err
+	}
+	if err := net.RunDNDP(1); err != nil {
+		return err
+	}
+	if err := net.RunMNDP(1); err != nil {
+		return err
+	}
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s\n", jsonl.Written(), jsonlPath)
+	}
+
+	snap := reg.Snapshot()
+	if mout != nil {
+		var err error
+		if strings.HasSuffix(metricsPath, ".json") {
+			err = metrics.WriteJSON(mout, snap)
+		} else {
+			err = metrics.WritePrometheus(mout, snap)
+		}
+		if cerr := mout.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %d counters, %d gauges, %d histograms -> %s\n",
+			len(snap.Counters), len(snap.Gauges), len(snap.Histograms), metricsPath)
+	}
+	fmt.Printf("instrumented run: n=%d m=%d l=%d q=%d, %s jamming, %d pairs discovered\n",
+		p.N, p.M, p.L, p.Q, jk, len(net.Discoveries()))
+	return nil
 }
 
 func runPoint(runs int, seed int64, jammer string, n, q int) error {

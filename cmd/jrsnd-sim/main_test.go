@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
@@ -67,6 +70,70 @@ func TestRunBaselines(t *testing.T) {
 	}
 	if err := run("ext-gold", 1, 1, "reactive", false, 0, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunInstrumented covers the -metrics/-trace-jsonl deployment mode:
+// a small instrumented run must produce a parseable Prometheus snapshot
+// and a monotonic JSONL trace.
+func TestRunInstrumented(t *testing.T) {
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "out.prom")
+	jsonlPath := filepath.Join(dir, "out.jsonl")
+	if err := runInstrumented(promPath, jsonlPath, 1, "reactive", 30, -1); err != nil {
+		t.Fatal(err)
+	}
+
+	pf, err := os.Open(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	snap, err := metrics.ParsePrometheus(pf)
+	if err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	for _, want := range []string{
+		`jrsnd_core_tx_total{kind="HELLO"}`,
+		"jrsnd_sim_events_fired_total",
+	} {
+		if snap.Counters[want] == 0 {
+			t.Errorf("counter %s missing or zero", want)
+		}
+	}
+	if _, ok := snap.Histograms["jrsnd_core_discovery_latency_seconds"]; !ok {
+		t.Error("discovery-latency histogram missing")
+	}
+
+	tf, err := os.Open(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	events, err := trace.ReadJSONL(tf)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	// JSON snapshot flavor, no trace.
+	jsonPath := filepath.Join(dir, "out.json")
+	if err := runInstrumented(jsonPath, "", 1, "none", 30, 0); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if _, err := metrics.ReadJSON(jf); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v", err)
+	}
+
+	if err := runInstrumented(promPath, "", 1, "bogus", 30, -1); err == nil {
+		t.Fatal("accepted unknown jammer")
 	}
 }
 

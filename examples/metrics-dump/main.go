@@ -1,0 +1,60 @@
+// Metrics dump: run two small instrumented deployments under reactive
+// jamming, merge their metric snapshots — counters and histograms sum,
+// gauges keep the high-water mark — and print the aggregate in the
+// Prometheus text format. The same aggregation powers
+// jrsnd-report -metrics across whole campaign directories.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	jrsnd "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics-dump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	params := jrsnd.DefaultParams()
+	params.N, params.M, params.L, params.Q = 30, 10, 5, 3
+	params.FieldWidth, params.FieldHeight = 700, 700
+
+	merged := jrsnd.MetricsSnapshot{}
+	for _, seed := range []int64{1, 2} {
+		reg := jrsnd.NewMetricsRegistry()
+		net, err := jrsnd.New(jrsnd.NetworkConfig{
+			Params:  params,
+			Seed:    seed,
+			Jammer:  jrsnd.JamReactive,
+			Metrics: reg,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := net.CompromiseRandom(params.Q); err != nil {
+			return err
+		}
+		if err := net.RunDNDP(1); err != nil {
+			return err
+		}
+		if err := net.RunMNDP(1); err != nil {
+			return err
+		}
+		if err := merged.Merge(reg.Snapshot()); err != nil {
+			return err
+		}
+	}
+
+	if err := jrsnd.WriteMetricsPrometheus(os.Stdout, merged); err != nil {
+		return err
+	}
+	lat := merged.Histograms["jrsnd_core_discovery_latency_seconds"]
+	fmt.Printf("\n# %d discoveries across both runs; latency p50 %.3fs, p95 %.3fs\n",
+		lat.Count, lat.Quantile(0.5), lat.Quantile(0.95))
+	return nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// coreMetrics is the protocol engine's telemetry handle set, resolved once
+// at network construction so the hot paths (every transmission, every
+// discovery) update instruments with a single atomic op. All handles come
+// from the registry in NetworkConfig.Metrics; when that is nil the whole
+// struct is nil and call sites skip instrumentation with one pointer check.
+type coreMetrics struct {
+	tx     map[int]*metrics.Counter // transmissions by message kind
+	jammed map[int]*metrics.Counter // jammed transmissions by message kind
+
+	discoveryLatency *metrics.Histogram
+	discoveries      map[DiscoveryMethod]*metrics.Counter
+
+	mndpForwards *metrics.Counter   // M-NDP request relays sent
+	mndpFanout   *metrics.Histogram // unicast targets per flood step
+
+	invalidReports *metrics.Counter
+	revokedLocal   *metrics.Counter
+	revokedGlobal  *metrics.Counter
+	expiries       *metrics.Counter
+	evictions      *metrics.Counter
+}
+
+// messageKinds lists every protocol message kind, for per-kind counters.
+var messageKinds = []int{
+	kindHello, kindConfirm, kindAuth1, kindAuth2,
+	kindMNDPRequest, kindMNDPResponse, kindSessionHello, kindSessionConfirm,
+}
+
+// discoveryLatencyBounds is parameter-independent (exponential from 1 ms to
+// ~17 min) so snapshots from campaigns with different Table I settings
+// still merge.
+var discoveryLatencyBounds = metrics.ExponentialBounds(0.001, 2, 20)
+
+// fanoutBounds covers the M-NDP flood fan-out per step.
+var fanoutBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// newCoreMetrics registers the protocol-engine instruments. A nil registry
+// returns nil (instrumentation off).
+func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &coreMetrics{
+		tx:          map[int]*metrics.Counter{},
+		jammed:      map[int]*metrics.Counter{},
+		discoveries: map[DiscoveryMethod]*metrics.Counter{},
+
+		discoveryLatency: reg.Histogram("jrsnd_core_discovery_latency_seconds",
+			"mutual pair-discovery latency", discoveryLatencyBounds),
+		mndpForwards: reg.Counter("jrsnd_core_mndp_forwards_total",
+			"M-NDP request unicasts sent during flooding"),
+		mndpFanout: reg.Histogram("jrsnd_core_mndp_fanout",
+			"M-NDP flood fan-out (unicast targets per flood step)", fanoutBounds),
+		invalidReports: reg.Counter("jrsnd_core_invalid_reports_total",
+			"invalid-message reports feeding the revocation counters (§V-D)"),
+		revokedLocal: reg.Counter("jrsnd_core_revocations_local_total",
+			"codes locally revoked after gamma invalid messages"),
+		revokedGlobal: reg.Counter("jrsnd_core_revocations_global_total",
+			"authority-driven network-wide code revocations"),
+		expiries: reg.Counter("jrsnd_core_neighbor_expiries_total",
+			"logical neighbors dropped by the monitor timeout"),
+		evictions: reg.Counter("jrsnd_core_monitor_evictions_total",
+			"sessions evicted by the monitor-capacity budget (§IV-A)"),
+	}
+	for _, k := range messageKinds {
+		label := fmt.Sprintf("{kind=%q}", messageKindName(k))
+		m.tx[k] = reg.Counter("jrsnd_core_tx_total"+label, "protocol transmissions by message kind")
+		m.jammed[k] = reg.Counter("jrsnd_core_jammed_total"+label, "jammed transmissions by message kind")
+	}
+	for _, via := range []DiscoveryMethod{ViaDNDP, ViaMNDP} {
+		m.discoveries[via] = reg.Counter(fmt.Sprintf("jrsnd_core_discoveries_total{via=%q}", via),
+			"mutual discoveries by protocol")
+	}
+	return m
+}
+
+// onTransmission records one medium transmission and its jam verdict.
+func (m *coreMetrics) onTransmission(kind int, jammedVerdict bool) {
+	if m == nil {
+		return
+	}
+	m.tx[kind].Inc()
+	if jammedVerdict {
+		m.jammed[kind].Inc()
+	}
+}
+
+// onDiscovery records one completed mutual discovery.
+func (m *coreMetrics) onDiscovery(via DiscoveryMethod, latencySeconds float64) {
+	if m == nil {
+		return
+	}
+	m.discoveries[via].Inc()
+	m.discoveryLatency.Observe(latencySeconds)
+}
+
+// onMNDPFlood records one flood step's fan-out.
+func (m *coreMetrics) onMNDPFlood(targets int) {
+	if m == nil || targets == 0 {
+		return
+	}
+	m.mndpForwards.Add(uint64(targets))
+	m.mndpFanout.Observe(float64(targets))
+}

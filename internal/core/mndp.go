@@ -147,7 +147,11 @@ func (nd *Node) forwardRequest(req mndpRequest) {
 		}
 	}
 	bits := nd.requestBits(req)
-	for id := range nd.neighbors {
+	targets := 0
+	// Iterate in sorted ID order: map order would vary run to run, and the
+	// resulting unicast scheduling order perturbs downstream duplicate
+	// suppression — breaking same-seed reproducibility.
+	for _, id := range nd.neighborIDs() {
 		// The origin sends to everyone in ℒ; forwarders only to nodes not
 		// already reachable per the recorded neighbor lists.
 		if len(req.Hops) > 1 && covered[id] {
@@ -156,6 +160,7 @@ func (nd *Node) forwardRequest(req mndpRequest) {
 		if id == req.Hops[0].ID {
 			continue
 		}
+		targets++
 		_ = nd.net.medium.Unicast(nd.index, int(id), radio.Message{
 			Kind:        kindMNDPRequest,
 			Code:        radio.SessionCode,
@@ -163,6 +168,7 @@ func (nd *Node) forwardRequest(req mndpRequest) {
 			Payload:     req,
 		})
 	}
+	nd.net.m.onMNDPFlood(targets)
 }
 
 // onMNDPRequest verifies and processes a request relayed by a logical

@@ -8,6 +8,7 @@ import (
 	"repro/internal/codepool"
 	"repro/internal/field"
 	"repro/internal/ibc"
+	"repro/internal/metrics"
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -94,7 +95,14 @@ type NetworkConfig struct {
 	ModelProcessingDelays bool
 	// Trace, when set, receives structured protocol events
 	// (transmissions, jam verdicts, discoveries, revocations, expiries).
-	Trace *trace.Recorder
+	// Any trace.Sink works: the bounded in-memory trace.Recorder, a
+	// streaming trace.JSONLWriter, or several at once via trace.Multi.
+	Trace trace.Sink
+	// Metrics, when set, receives the engine's telemetry: per-kind tx and
+	// jam counters, the discovery-latency histogram, M-NDP flood fan-out,
+	// revocation/expiry counters, and the sim-engine event counters. A nil
+	// registry disables instrumentation at near-zero hot-path cost.
+	Metrics *metrics.Registry
 	// MonitorBudget caps how many session codes a node can monitor in
 	// real time (§IV-A: real-time de-spreading needs one correlator chain
 	// per code; see analysis.MonitorCapacity). When a new neighbor would
@@ -127,6 +135,8 @@ type Network struct {
 	graph     *field.Graph
 	nodes     []*Node
 	jammer    radio.Jammer
+	sink      trace.Sink   // normalized from cfg.Trace; nil when tracing is off
+	m         *coreMetrics // nil when cfg.Metrics is nil
 
 	compromisedCodes *codepool.CodeSet
 	compromisedNodes map[int]bool
@@ -212,14 +222,23 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		pairLive:         map[[2]ibc.NodeID]bool{},
 		initTime:         map[ibc.NodeID]sim.Time{},
 	}
+	n.sink = trace.Multi(cfg.Trace) // normalizes typed-nil recorders to nil
+	n.m = newCoreMetrics(cfg.Metrics)
+	if cfg.Metrics != nil {
+		engine.Instrument(sim.NewEngineMetrics(cfg.Metrics))
+	}
 	var observer func(from, to int, msg radio.Message, jammed bool)
-	if cfg.Trace != nil {
+	if n.sink != nil || n.m != nil {
 		observer = func(from, to int, msg radio.Message, jammed bool) {
+			n.m.onTransmission(msg.Kind, jammed)
+			if n.sink == nil {
+				return
+			}
 			kind := trace.KindTx
 			if jammed {
 				kind = trace.KindJammed
 			}
-			cfg.Trace.Emit(trace.Event{
+			n.sink.Emit(trace.Event{
 				At:     float64(engine.Now()),
 				Kind:   kind,
 				Node:   from,
@@ -279,6 +298,13 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	return n, nil
 }
 
+// emit forwards a protocol event to the configured trace sink, if any.
+func (n *Network) emit(e trace.Event) {
+	if n.sink != nil {
+		n.sink.Emit(e)
+	}
+}
+
 // Engine exposes the simulation engine (tests and examples drive it).
 func (n *Network) Engine() *sim.Engine { return n.engine }
 
@@ -330,7 +356,10 @@ func (n *Network) RevokeGlobally(code codepool.CodeID) (int, error) {
 		}
 	}
 	if held > 0 {
-		n.cfg.Trace.Emit(trace.Event{
+		if n.m != nil {
+			n.m.revokedGlobal.Inc()
+		}
+		n.emit(trace.Event{
 			At:     float64(n.engine.Now()),
 			Kind:   trace.KindRevocation,
 			Node:   -1,
@@ -447,7 +476,10 @@ func (n *Network) ExpireStaleNeighbors() int {
 				a, b = b, a
 			}
 			delete(n.pairLive, [2]ibc.NodeID{a, b})
-			n.cfg.Trace.Emit(trace.Event{
+			if n.m != nil {
+				n.m.expiries.Inc()
+			}
+			n.emit(trace.Event{
 				At:     float64(n.engine.Now()),
 				Kind:   trace.KindExpiry,
 				Node:   nd.index,
@@ -554,6 +586,7 @@ func (n *Network) recordDiscovery(self, peer ibc.NodeID, via DiscoveryMethod) {
 			latency = now - t0
 		}
 	}
+	n.m.onDiscovery(via, float64(latency))
 	n.pairs = append(n.pairs, PairDiscovery{A: a, B: b, Via: via, At: now, Latency: latency})
 }
 

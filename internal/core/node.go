@@ -179,7 +179,7 @@ func (nd *Node) acceptNeighbor(peer ibc.NodeID, via DiscoveryMethod, key [32]byt
 		DiscoveredAt: nd.net.engine.Now(),
 		SessionKey:   key,
 	}
-	nd.net.cfg.Trace.Emit(trace.Event{
+	nd.net.emit(trace.Event{
 		At:     float64(nd.net.engine.Now()),
 		Kind:   trace.KindDiscovery,
 		Node:   nd.index,
@@ -214,7 +214,10 @@ func (nd *Node) evictOldestNeighbor() {
 		delete(nd.initiator.peers, victim)
 	}
 	nd.net.dropAccepted(nd.id, victim)
-	nd.net.cfg.Trace.Emit(trace.Event{
+	if nd.net.m != nil {
+		nd.net.m.evictions.Inc()
+	}
+	nd.net.emit(trace.Event{
 		At:     float64(nd.net.engine.Now()),
 		Kind:   trace.KindExpiry,
 		Node:   nd.index,
@@ -245,8 +248,14 @@ func (nd *Node) reportInvalid(c codepool.CodeID) {
 		return
 	}
 	nd.stats.InvalidReports++
+	if nd.net.m != nil {
+		nd.net.m.invalidReports.Inc()
+	}
 	if nd.revoker.ReportInvalid(c) {
-		nd.net.cfg.Trace.Emit(trace.Event{
+		if nd.net.m != nil {
+			nd.net.m.revokedLocal.Inc()
+		}
+		nd.net.emit(trace.Event{
 			At:     float64(nd.net.engine.Now()),
 			Kind:   trace.KindRevocation,
 			Node:   nd.index,

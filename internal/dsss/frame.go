@@ -21,6 +21,7 @@ import (
 type Frame struct {
 	codec *rs.Codec
 	tau   float64
+	m     *PhyMetrics // nil unless Instrument was called
 }
 
 // frameMagic is the two-byte sync word prepended to every frame payload.
@@ -82,8 +83,14 @@ func (f *Frame) ReceiveScan(buf []int32, codes []chips.Sequence, msgLen int) (ms
 	start := 0
 	for {
 		window := buf[start:]
+		if f.m != nil {
+			f.m.SyncAttempts.Inc()
+		}
 		res, serr := Synchronize(window, codes, f.tau, f.EncodedBits(msgLen))
 		if serr != nil {
+			if f.m != nil {
+				f.m.SyncMisses.Inc()
+			}
 			return nil, 0, 0, ErrNoSignal
 		}
 		off := start + res.Offset
@@ -136,12 +143,24 @@ func (f *Frame) Receive(buf []int32, off int, code chips.Sequence, msgLen int) (
 	for pos := range erasedBytes {
 		erasures = append(erasures, pos)
 	}
+	if f.m != nil {
+		f.m.ErasureSymbols.Add(uint64(len(erasures)))
+	}
 	framed, err := f.codec.Decode(coded, msgLen+len(frameMagic), erasures)
 	if err != nil {
+		if f.m != nil {
+			f.m.DecodeErrors.Inc()
+		}
 		return nil, fmt.Errorf("frame decode: %w", err)
 	}
 	if framed[0] != frameMagic[0] || framed[1] != frameMagic[1] {
+		if f.m != nil {
+			f.m.DecodeErrors.Inc()
+		}
 		return nil, fmt.Errorf("frame decode: bad sync word (miscorrection or wrong code)")
+	}
+	if f.m != nil {
+		f.m.DecodeOK.Inc()
 	}
 	return framed[len(frameMagic):], nil
 }

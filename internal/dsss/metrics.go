@@ -1,0 +1,43 @@
+package dsss
+
+import "repro/internal/metrics"
+
+// PhyMetrics is the DSSS receive path's telemetry handle set. All fields
+// are plain instrument handles; a nil *PhyMetrics (the default) keeps the
+// receive path entirely uninstrumented at the cost of one pointer check.
+type PhyMetrics struct {
+	// SyncAttempts counts correlation searches over candidate codes
+	// (one per Synchronize call inside ReceiveScan).
+	SyncAttempts *metrics.Counter
+	// SyncMisses counts searches where no candidate code crossed the
+	// correlation threshold τ.
+	SyncMisses *metrics.Counter
+	// DecodeErrors counts Reed–Solomon decode failures (erasure budget
+	// exceeded, miscorrection caught by the sync word, or packing errors).
+	DecodeErrors *metrics.Counter
+	// DecodeOK counts frames recovered end to end.
+	DecodeOK *metrics.Counter
+	// ErasureSymbols counts coded symbols fed to the RS decoder as
+	// erasures (correlation below τ on at least one of the symbol's bits).
+	ErasureSymbols *metrics.Counter
+}
+
+// NewPhyMetrics registers the standard DSSS receive-path instruments on
+// reg. A nil registry yields a fully inert (but non-nil) handle set.
+func NewPhyMetrics(reg *metrics.Registry) *PhyMetrics {
+	return &PhyMetrics{
+		SyncAttempts: reg.Counter("jrsnd_dsss_sync_attempts_total",
+			"sliding-window correlation searches over candidate codes"),
+		SyncMisses: reg.Counter("jrsnd_dsss_sync_misses_total",
+			"correlation searches with no code beyond the threshold τ"),
+		DecodeErrors: reg.Counter("jrsnd_dsss_rs_decode_errors_total",
+			"Reed–Solomon frame decode failures"),
+		DecodeOK: reg.Counter("jrsnd_dsss_rs_decode_ok_total",
+			"frames recovered by the RS + sync-word pipeline"),
+		ErasureSymbols: reg.Counter("jrsnd_dsss_rs_erasure_symbols_total",
+			"coded symbols handed to the RS decoder as erasures"),
+	}
+}
+
+// Instrument attaches m to the framer; pass nil to detach.
+func (f *Frame) Instrument(m *PhyMetrics) { f.m = m }

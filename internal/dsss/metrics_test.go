@@ -1,0 +1,89 @@
+package dsss
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/metrics"
+)
+
+// TestPhyMetrics drives the instrumented receive path through a clean
+// decode, a threshold miss on an empty channel, and a jammed frame, and
+// checks each instrument moved.
+func TestPhyMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	frame, err := NewFrame(e2eMu, e2eTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	frame.Instrument(NewPhyMetrics(reg))
+
+	code := chips.NewRandom(rng, e2eChipLen)
+	msg := []byte("HELLO")
+	jam := &chipJammer{}
+
+	// 1. Clean frame: one sync attempt, one successful decode.
+	ch := transmitFrame(t, frame, jam, msg, code, 40)
+	got, _, _, err := frame.ReceiveScan(ch.Samples(), []chips.Sequence{code}, len(msg))
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("clean receive failed: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["jrsnd_dsss_sync_attempts_total"] == 0 {
+		t.Error("sync attempts not counted")
+	}
+	if snap.Counters["jrsnd_dsss_rs_decode_ok_total"] != 1 {
+		t.Errorf("decode ok = %d, want 1", snap.Counters["jrsnd_dsss_rs_decode_ok_total"])
+	}
+
+	// 2. Empty channel: the scan must miss the correlation threshold.
+	empty, err := NewChannel(frame.AirtimeChips(len(msg), e2eChipLen) + 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := frame.ReceiveScan(empty.Samples(), []chips.Sequence{code}, len(msg)); err == nil {
+		t.Fatal("decoded a frame from an empty channel")
+	}
+	snap = reg.Snapshot()
+	if snap.Counters["jrsnd_dsss_sync_misses_total"] == 0 {
+		t.Error("sync misses not counted")
+	}
+
+	// 3. Jammed frame: the reactive jammer inverts past the ECC budget, so
+	// decode attempts fail and erasures/errors accumulate.
+	jam.known = []chips.Sequence{code}
+	jammed := transmitFrame(t, frame, jam, msg, code, 40)
+	if _, _, _, err := frame.ReceiveScan(jammed.Samples(), []chips.Sequence{code}, len(msg)); err == nil {
+		t.Fatal("decoded a jammed frame")
+	}
+	snap = reg.Snapshot()
+	if snap.Counters["jrsnd_dsss_rs_decode_errors_total"] == 0 {
+		t.Error("decode errors not counted")
+	}
+	if snap.Counters["jrsnd_dsss_rs_erasure_symbols_total"] == 0 {
+		t.Error("erasure symbols not counted")
+	}
+}
+
+// TestPhyMetricsUninstrumented checks the receive path stays nil-safe
+// without Instrument and with a handle set from a nil registry.
+func TestPhyMetricsUninstrumented(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	frame, err := NewFrame(e2eMu, e2eTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := chips.NewRandom(rng, e2eChipLen)
+	msg := []byte("X")
+	ch := transmitFrame(t, frame, &chipJammer{}, msg, code, 10)
+	if _, _, _, err := frame.ReceiveScan(ch.Samples(), []chips.Sequence{code}, len(msg)); err != nil {
+		t.Fatalf("uninstrumented receive failed: %v", err)
+	}
+	frame.Instrument(NewPhyMetrics(nil)) // inert handles must also be safe
+	if _, _, _, err := frame.ReceiveScan(ch.Samples(), []chips.Sequence{code}, len(msg)); err != nil {
+		t.Fatalf("inert-instrumented receive failed: %v", err)
+	}
+}

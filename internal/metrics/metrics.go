@@ -1,0 +1,357 @@
+// Package metrics is the telemetry registry the protocol engine, the DSSS
+// PHY, and the experiment harness report into: allocation-conscious
+// counters, gauges, and fixed-bucket histograms, snapshotable and mergeable
+// across Monte-Carlo runs, with Prometheus-style text exposition and JSON
+// export.
+//
+// The design is handle-based: a component asks the Registry once for its
+// instruments at setup time and then updates them on the hot path with a
+// single atomic operation — no map lookups, no locks, no allocations per
+// event. Every instrument is safe for concurrent use, and every method is a
+// no-op on a nil receiver, so uninstrumented runs pay only a nil check:
+//
+//	reg := metrics.New()                       // or nil to disable
+//	tx := reg.Counter("jrsnd_tx_total", "transmissions")
+//	...
+//	tx.Inc()                                   // hot path; safe when tx == nil
+//
+// Metric names may carry a Prometheus-style label suffix, e.g.
+// "jrsnd_tx_total{kind=\"HELLO\"}"; instruments that share a base name form
+// one exposition family.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. A nil *Counter is a valid
+// no-op instrument.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can move in both directions. Set/Add race freely
+// from multiple goroutines; SetMax keeps a high-water mark. A nil *Gauge is
+// a valid no-op instrument.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark update used for e.g. event-queue depth.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: bucket i counts observations x
+// with x <= Bounds[i] (and above the previous bound); one extra +Inf bucket
+// catches the rest — Prometheus bucket semantics, which makes snapshots of
+// independent Monte-Carlo runs mergeable bucket by bucket. A nil *Histogram
+// is a valid no-op instrument.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
+	sum    Gauge
+	count  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	// Upper-bound binary search: first bound >= x.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(x)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// LinearBounds returns n evenly spaced bucket bounds over (0, max]:
+// max/n, 2·max/n, …, max.
+func LinearBounds(max float64, n int) []float64 {
+	if n < 1 || max <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = max * float64(i+1) / float64(n)
+	}
+	return out
+}
+
+// ExponentialBounds returns n bounds start, start·factor, start·factor², ….
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Registry owns a namespace of instruments. A nil *Registry hands out nil
+// instruments, so a component can instrument itself unconditionally and let
+// the caller decide whether telemetry is on.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string // keyed by base (family) name
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
+	}
+}
+
+// baseName strips a "{...}" label suffix from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// validName rejects names that would corrupt the text exposition.
+func validName(name string) error {
+	base := baseName(name)
+	if base == "" {
+		return fmt.Errorf("metrics: empty metric name %q", name)
+	}
+	for _, r := range base {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == ':' {
+			continue
+		}
+		return fmt.Errorf("metrics: invalid character %q in metric name %q", r, name)
+	}
+	if strings.ContainsAny(name, "\n") {
+		return fmt.Errorf("metrics: newline in metric name %q", name)
+	}
+	return nil
+}
+
+func (r *Registry) setHelp(name, help string) {
+	base := baseName(name)
+	if help != "" && r.help[base] == "" {
+		r.help[base] = help
+	}
+}
+
+// Counter returns (creating on first use) the named counter. The name may
+// carry a label suffix: Counter(`tx_total{kind="HELLO"}`, …). A nil
+// registry or invalid name yields a nil (no-op) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil || validName(name) != nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.setHelp(name, help)
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil || validName(name) != nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.setHelp(name, help)
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram with the
+// given strictly increasing, finite bucket bounds (the +Inf bucket is
+// implicit). Re-registering an existing histogram returns the existing
+// instrument regardless of the bounds passed. A nil registry, invalid name,
+// or invalid bounds yield a nil (no-op) histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil || validName(name) != nil || len(bounds) == 0 {
+		return nil
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	r.setHelp(name, help)
+	return h
+}
+
+// Snapshot captures a point-in-time copy of every instrument. Safe to call
+// while other goroutines keep updating the registry. Returns a zero-valued
+// snapshot for a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Help:       map[string]string{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+			hs.Count += hs.Counts[i]
+		}
+		s.Histograms[name] = hs
+	}
+	for base, help := range r.help {
+		s.Help[base] = help
+	}
+	return s
+}
+
+// sortedKeys returns the map's keys ordered for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,241 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if again := r.Counter("test_total", ""); again != c {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(1.5)
+	g.Add(0.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+	g.SetMax(1) // below current: no-op
+	if got := g.Value(); got != 2 {
+		t.Fatalf("SetMax lowered the gauge to %v", got)
+	}
+	g.SetMax(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("SetMax = %v, want 7", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", []float64{1, 2})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	// All no-ops; must not panic.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestInvalidNamesAndBounds(t *testing.T) {
+	r := New()
+	if r.Counter("bad name", "") != nil {
+		t.Fatal("space in name must be rejected")
+	}
+	if r.Counter("", "") != nil {
+		t.Fatal("empty name must be rejected")
+	}
+	if r.Histogram("h", "", nil) != nil {
+		t.Fatal("empty bounds must be rejected")
+	}
+	if r.Histogram("h", "", []float64{1, 1}) != nil {
+		t.Fatal("non-increasing bounds must be rejected")
+	}
+	if r.Histogram("h", "", []float64{1, math.Inf(1)}) != nil {
+		t.Fatal("explicit +Inf bound must be rejected (it is implicit)")
+	}
+	if r.Histogram("h", "", []float64{math.NaN()}) != nil {
+		t.Fatal("NaN bound must be rejected")
+	}
+}
+
+// TestHistogramBucketMath pins the bucket edge semantics: x <= bound lands
+// in the bucket (Prometheus le semantics), anything past the last bound
+// lands in the implicit +Inf bucket.
+func TestHistogramBucketMath(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", "latency", []float64{1, 2, 4})
+	for _, x := range []float64{
+		-5,  // below the first bound -> bucket 0
+		0,   // -> bucket 0
+		1,   // exactly at bound 0 -> bucket 0 (le semantics)
+		1.5, // -> bucket 1
+		2,   // exactly at bound 1 -> bucket 1
+		3,   // -> bucket 2
+		4,   // exactly at the last finite bound -> bucket 2
+		4.1, // -> +Inf bucket
+		100, // -> +Inf bucket
+	} {
+		h.Observe(x)
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["lat_seconds"]
+	wantCounts := []uint64{3, 2, 2, 2}
+	if len(hs.Counts) != len(wantCounts) {
+		t.Fatalf("got %d buckets, want %d", len(hs.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if hs.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, hs.Counts[i], want, hs.Counts)
+		}
+	}
+	if hs.Count != 9 {
+		t.Errorf("count = %d, want 9", hs.Count)
+	}
+	wantSum := -5.0 + 0 + 1 + 1.5 + 2 + 3 + 4 + 4.1 + 100
+	if math.Abs(hs.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", hs.Sum, wantSum)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	bounds := []float64{1, 2}
+	r1, r2 := New(), New()
+	h1 := r1.Histogram("d", "", bounds)
+	h2 := r2.Histogram("d", "", bounds)
+	r1.Counter("n_total", "").Add(3)
+	r2.Counter("n_total", "").Add(4)
+	r1.Gauge("hw", "").Set(10)
+	r2.Gauge("hw", "").Set(25)
+	h1.Observe(0.5)
+	h1.Observe(5)
+	h2.Observe(1.5)
+
+	s := r1.Snapshot()
+	if err := s.Merge(r2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["n_total"] != 7 {
+		t.Errorf("merged counter = %d, want 7", s.Counters["n_total"])
+	}
+	if s.Gauges["hw"] != 25 {
+		t.Errorf("merged gauge = %v, want max 25", s.Gauges["hw"])
+	}
+	hs := s.Histograms["d"]
+	if want := []uint64{1, 1, 1}; len(hs.Counts) != 3 ||
+		hs.Counts[0] != want[0] || hs.Counts[1] != want[1] || hs.Counts[2] != want[2] {
+		t.Errorf("merged buckets = %v, want %v", hs.Counts, want)
+	}
+	if hs.Count != 3 || math.Abs(hs.Sum-7) > 1e-9 {
+		t.Errorf("merged count/sum = %d/%v, want 3/7", hs.Count, hs.Sum)
+	}
+
+	// Geometry mismatch must fail loudly.
+	r3 := New()
+	r3.Histogram("d", "", []float64{1, 2, 3}).Observe(1)
+	if err := s.Merge(r3.Snapshot()); err == nil {
+		t.Fatal("merging mismatched histogram geometry must error")
+	}
+}
+
+func TestMergeIntoZeroSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("c_total", "").Inc()
+	r.Histogram("h", "", []float64{1}).Observe(0.5)
+	var s Snapshot // zero value, maps nil
+	if err := s.Merge(r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["c_total"] != 1 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("merge into zero snapshot lost data: %+v", s)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	hs := HistogramSnapshot{
+		Bounds: []float64{1, 2, 3},
+		Counts: []uint64{10, 10, 0, 0},
+		Count:  20,
+	}
+	if q := hs.Quantile(0.5); q < 0.9 || q > 1.1 {
+		t.Errorf("P50 = %v, want ~1", q)
+	}
+	if q := hs.Quantile(1); q < 1.9 || q > 2.0 {
+		t.Errorf("P100 = %v, want ~2", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	// Mass in the +Inf bucket reports the last finite bound.
+	overflow := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 5}, Count: 5}
+	if q := overflow.Quantile(0.99); q != 1 {
+		t.Errorf("+Inf-bucket quantile = %v, want last bound 1", q)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", []float64{0.5})
+	g := r.Gauge("g", "")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i%2) * 1.0)
+				g.SetMax(float64(w*per + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if g.Value() != workers*per-1 {
+		t.Errorf("gauge high-water = %v, want %d", g.Value(), workers*per-1)
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	lin := LinearBounds(10, 5)
+	if len(lin) != 5 || lin[0] != 2 || lin[4] != 10 {
+		t.Errorf("LinearBounds = %v", lin)
+	}
+	exp := ExponentialBounds(1, 2, 4)
+	if len(exp) != 4 || exp[0] != 1 || exp[3] != 8 {
+		t.Errorf("ExponentialBounds = %v", exp)
+	}
+	if LinearBounds(0, 3) != nil || ExponentialBounds(1, 1, 3) != nil {
+		t.Error("degenerate bound requests must return nil")
+	}
+}

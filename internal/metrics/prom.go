@@ -1,0 +1,304 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) of a snapshot, plus a parser
+// for the same format so campaign tooling (cmd/jrsnd-report) can merge the
+// .prom files that instrumented runs leave behind.
+
+// splitLabels separates "name{a="b"}" into the base name and the raw label
+// body (without braces); an unlabeled name yields "".
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	body := name[i+1:]
+	body = strings.TrimSuffix(body, "}")
+	return name[:i], body
+}
+
+// withLabel appends one label pair to a possibly-labeled metric name,
+// returning the sample name for the exposition line.
+func withLabel(name, key, value string) string {
+	base, labels := splitLabels(name)
+	pair := key + `="` + value + `"`
+	if labels == "" {
+		return base + "{" + pair + "}"
+	}
+	return base + "{" + labels + "," + pair + "}"
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeHeader(w io.Writer, done map[string]bool, base, typ string, help map[string]string) error {
+	if done[base] {
+		return nil
+	}
+	done[base] = true
+	if h := help[base]; h != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, strings.ReplaceAll(h, "\n", " ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+	return err
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, deterministically ordered.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	done := map[string]bool{}
+	for _, name := range sortedKeys(s.Counters) {
+		if err := writeHeader(w, done, baseName(name), "counter", s.Help); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if err := writeHeader(w, done, baseName(name), "gauge", s.Help); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if err := writeHeader(w, done, baseName(name), "histogram", s.Help); err != nil {
+			return err
+		}
+		suffix := func(sfx string) string {
+			b, labels := splitLabels(name)
+			if labels == "" {
+				return b + sfx
+			}
+			return b + sfx + "{" + labels + "}"
+		}
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			line := withLabelOnSuffix(name, "_bucket", "le", formatFloat(bound))
+			if _, err := fmt.Fprintf(w, "%s %d\n", line, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		line := withLabelOnSuffix(name, "_bucket", "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s %d\n", line, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", suffix("_sum"), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", suffix("_count"), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withLabelOnSuffix builds "base_sfx{orig-labels,key="value"}" from a
+// possibly-labeled instrument name.
+func withLabelOnSuffix(name, sfx, key, value string) string {
+	base, labels := splitLabels(name)
+	full := base + sfx
+	if labels != "" {
+		full += "{" + labels + "}"
+	}
+	return withLabel(full, key, value)
+}
+
+// parseLabels splits a raw label body (`a="b",c="d"`) into pairs, honoring
+// quotes.
+func parseLabels(body string) ([][2]string, error) {
+	var out [][2]string
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("metrics: malformed label body %q", body)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("metrics: unquoted label value in %q", body)
+		}
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			return nil, fmt.Errorf("metrics: unterminated label value in %q", body)
+		}
+		val := rest[1 : 1+end]
+		out = append(out, [2]string{key, val})
+		rest = rest[end+2:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return out, nil
+}
+
+// renderLabels rebuilds a label body from pairs.
+func renderLabels(pairs [][2]string) string {
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = p[0] + `="` + p[1] + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+// histAccum accumulates the exposition lines of one histogram instrument.
+type histAccum struct {
+	bounds []float64
+	cum    []uint64
+	sum    float64
+	count  uint64
+}
+
+// ParsePrometheus reads a text exposition previously produced by
+// WritePrometheus back into a snapshot. It understands the subset of the
+// format this package emits: counter, gauge, and histogram families with
+// optional labels.
+func ParsePrometheus(r io.Reader) (Snapshot, error) {
+	s := NewSnapshot()
+	types := map[string]string{}
+	hists := map[string]*histAccum{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "HELP" {
+				s.Help[fields[2]] = fields[3]
+			}
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return Snapshot{}, fmt.Errorf("metrics: line %d: no value in %q", lineNo, line)
+		}
+		name, valueStr := strings.TrimSpace(line[:sp]), line[sp+1:]
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("metrics: line %d: bad value %q: %v", lineNo, valueStr, err)
+		}
+		base, labelBody := splitLabels(name)
+		// Histogram component samples end in _bucket/_sum/_count and their
+		// family was declared `# TYPE <fam> histogram`.
+		if fam, sfx, ok := histFamily(base, types); ok {
+			pairs, err := parseLabels(labelBody)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("metrics: line %d: %v", lineNo, err)
+			}
+			var le string
+			kept := pairs[:0]
+			for _, p := range pairs {
+				if p[0] == "le" {
+					le = p[1]
+					continue
+				}
+				kept = append(kept, p)
+			}
+			instName := fam
+			if body := renderLabels(kept); body != "" {
+				instName += "{" + body + "}"
+			}
+			acc := hists[instName]
+			if acc == nil {
+				acc = &histAccum{}
+				hists[instName] = acc
+			}
+			switch sfx {
+			case "_bucket":
+				if le == "+Inf" {
+					acc.cum = append(acc.cum, uint64(value))
+				} else {
+					bound, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						return Snapshot{}, fmt.Errorf("metrics: line %d: bad le %q", lineNo, le)
+					}
+					acc.bounds = append(acc.bounds, bound)
+					acc.cum = append(acc.cum, uint64(value))
+				}
+			case "_sum":
+				acc.sum = value
+			case "_count":
+				acc.count = uint64(value)
+			}
+			continue
+		}
+		switch types[base] {
+		case "counter":
+			s.Counters[name] = uint64(value)
+		default: // gauge or untyped
+			s.Gauges[name] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: read exposition: %w", err)
+	}
+	for name, acc := range hists {
+		if len(acc.cum) != len(acc.bounds)+1 {
+			return Snapshot{}, fmt.Errorf("metrics: histogram %q missing its +Inf bucket", name)
+		}
+		hs := HistogramSnapshot{
+			Bounds: acc.bounds,
+			Counts: make([]uint64, len(acc.cum)),
+			Sum:    acc.sum,
+			Count:  acc.count,
+		}
+		prev := uint64(0)
+		for i, cum := range acc.cum {
+			if cum < prev {
+				return Snapshot{}, fmt.Errorf("metrics: histogram %q has non-monotonic buckets", name)
+			}
+			hs.Counts[i] = cum - prev
+			prev = cum
+		}
+		s.Histograms[name] = hs
+	}
+	return s, nil
+}
+
+// histFamily reports whether base is a component sample (<fam>_bucket,
+// <fam>_sum, <fam>_count) of a declared histogram family.
+func histFamily(base string, types map[string]string) (fam, sfx string, ok bool) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(base, suffix) {
+			fam = strings.TrimSuffix(base, suffix)
+			if types[fam] == "histogram" {
+				return fam, suffix, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// Deterministically ordered name lists, for report rendering.
+func (s Snapshot) SortedCounterNames() []string   { return sortedKeys(s.Counters) }
+func (s Snapshot) SortedGaugeNames() []string     { return sortedKeys(s.Gauges) }
+func (s Snapshot) SortedHistogramNames() []string { return sortedKeys(s.Histograms) }

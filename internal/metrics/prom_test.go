@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func exampleSnapshot() Snapshot {
+	r := New()
+	r.Counter(`jrsnd_core_tx_total{kind="HELLO"}`, "transmissions by kind").Add(120)
+	r.Counter(`jrsnd_core_tx_total{kind="CONFIRM"}`, "transmissions by kind").Add(80)
+	r.Counter("jrsnd_sim_events_fired_total", "events fired").Add(5000)
+	r.Gauge("jrsnd_sim_queue_high_water", "max pending events").Set(37)
+	h := r.Histogram("jrsnd_core_discovery_latency_seconds", "latency", []float64{0.5, 1, 2})
+	h.Observe(0.3)
+	h.Observe(0.7)
+	h.Observe(5)
+	return r.Snapshot()
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	snap := exampleSnapshot()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE jrsnd_core_tx_total counter",
+		`jrsnd_core_tx_total{kind="HELLO"} 120`,
+		"# TYPE jrsnd_sim_queue_high_water gauge",
+		"# TYPE jrsnd_core_discovery_latency_seconds histogram",
+		`jrsnd_core_discovery_latency_seconds_bucket{le="0.5"} 1`,
+		`jrsnd_core_discovery_latency_seconds_bucket{le="1"} 2`,
+		`jrsnd_core_discovery_latency_seconds_bucket{le="+Inf"} 3`,
+		"jrsnd_core_discovery_latency_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	back, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters[`jrsnd_core_tx_total{kind="HELLO"}`] != 120 {
+		t.Errorf("parsed counters = %v", back.Counters)
+	}
+	if back.Gauges["jrsnd_sim_queue_high_water"] != 37 {
+		t.Errorf("parsed gauges = %v", back.Gauges)
+	}
+	hs, ok := back.Histograms["jrsnd_core_discovery_latency_seconds"]
+	if !ok {
+		t.Fatalf("histogram not parsed; snapshot %+v", back)
+	}
+	if len(hs.Bounds) != 3 || hs.Bounds[2] != 2 {
+		t.Errorf("parsed bounds = %v", hs.Bounds)
+	}
+	if want := []uint64{1, 1, 0, 1}; len(hs.Counts) != 4 ||
+		hs.Counts[0] != want[0] || hs.Counts[1] != want[1] || hs.Counts[2] != want[2] || hs.Counts[3] != want[3] {
+		t.Errorf("parsed buckets = %v, want %v", hs.Counts, want)
+	}
+	if hs.Count != 3 {
+		t.Errorf("parsed count = %d", hs.Count)
+	}
+
+	// A parsed snapshot must merge cleanly with the original: doubled
+	// counters, identical geometry.
+	merged := NewSnapshot()
+	if err := merged.Merge(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(back); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Counters["jrsnd_sim_events_fired_total"] != 10000 {
+		t.Errorf("merged counter = %d, want 10000", merged.Counters["jrsnd_sim_events_fired_total"])
+	}
+	if merged.Histograms["jrsnd_core_discovery_latency_seconds"].Count != 6 {
+		t.Error("merged histogram lost observations")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	snap := exampleSnapshot()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters[`jrsnd_core_tx_total{kind="CONFIRM"}`] != 80 {
+		t.Errorf("JSON round trip lost counters: %v", back.Counters)
+	}
+	hs := back.Histograms["jrsnd_core_discovery_latency_seconds"]
+	if hs.Count != 3 || len(hs.Counts) != 4 {
+		t.Errorf("JSON round trip mangled histogram: %+v", hs)
+	}
+
+	// Corrupt geometry must be rejected.
+	if _, err := ReadJSON(strings.NewReader(
+		`{"histograms":{"h":{"bounds":[1,2],"counts":[1],"sum":0,"count":1}}}`)); err == nil {
+		t.Fatal("ReadJSON accepted a histogram with missing buckets")
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	if _, err := ParsePrometheus(strings.NewReader("novalue\n")); err == nil {
+		t.Error("line without a value must fail")
+	}
+	if _, err := ParsePrometheus(strings.NewReader("x{a=b} 1\n")); err == nil {
+		// unquoted label value inside a histogram context is only checked
+		// for histogram families; plain gauges take the whole name as-is.
+		t.Log("unquoted label accepted on untyped sample (tolerated)")
+	}
+	bad := "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"
+	if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+		t.Error("non-monotonic cumulative buckets must fail")
+	}
+	missingInf := "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n"
+	if _, err := ParsePrometheus(strings.NewReader(missingInf)); err == nil {
+		t.Error("histogram without +Inf bucket must fail")
+	}
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// HistogramSnapshot is the frozen state of one histogram. Counts has one
+// entry per bound plus a final +Inf bucket; entries are per-bucket (not
+// cumulative), which makes merging a plain element-wise sum.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Quantile returns an approximate q-quantile (q in [0,1]) from the bucket
+// counts, interpolating linearly inside the selected bucket. The +Inf
+// bucket reports the last finite bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	cum := 0.0
+	for i, c := range h.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < target || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		frac := (target - prev) / float64(c)
+		return lo + frac*(h.Bounds[i]-lo)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot is a frozen, serializable copy of a registry. Snapshots from
+// independent runs of the same workload merge into campaign-level
+// aggregates.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Help       map[string]string            `json:"help,omitempty"`
+}
+
+// NewSnapshot returns an empty snapshot ready to merge into.
+func NewSnapshot() Snapshot {
+	return Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Help:       map[string]string{},
+	}
+}
+
+// Merge folds other into s: counters and histogram buckets add, gauges keep
+// the maximum (gauges in this codebase are high-water marks or ratios, for
+// which max is the meaningful cross-run aggregate). Histograms must share
+// bucket geometry.
+func (s *Snapshot) Merge(other Snapshot) error {
+	if s.Counters == nil {
+		*s = NewSnapshot()
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range other.Gauges {
+		if cur, ok := s.Gauges[name]; !ok || v > cur {
+			s.Gauges[name] = v
+		}
+	}
+	for name, oh := range other.Histograms {
+		sh, ok := s.Histograms[name]
+		if !ok {
+			sh = HistogramSnapshot{
+				Bounds: append([]float64(nil), oh.Bounds...),
+				Counts: make([]uint64, len(oh.Counts)),
+			}
+		}
+		if len(sh.Bounds) != len(oh.Bounds) || len(sh.Counts) != len(oh.Counts) {
+			return fmt.Errorf("metrics: histogram %q bucket geometry mismatch (%d vs %d bounds)",
+				name, len(sh.Bounds), len(oh.Bounds))
+		}
+		for i, b := range oh.Bounds {
+			if sh.Bounds[i] != b {
+				return fmt.Errorf("metrics: histogram %q bound %d differs (%v vs %v)", name, i, sh.Bounds[i], b)
+			}
+		}
+		for i, c := range oh.Counts {
+			sh.Counts[i] += c
+		}
+		sh.Sum += oh.Sum
+		sh.Count += oh.Count
+		s.Histograms[name] = sh
+	}
+	if s.Help == nil {
+		s.Help = map[string]string{}
+	}
+	for base, help := range other.Help {
+		if s.Help[base] == "" {
+			s.Help[base] = help
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses a snapshot previously written by WriteJSON.
+func ReadJSON(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: parse JSON snapshot: %w", err)
+	}
+	for name, h := range s.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return Snapshot{}, fmt.Errorf("metrics: histogram %q has %d counts for %d bounds",
+				name, len(h.Counts), len(h.Bounds))
+		}
+	}
+	return s, nil
+}

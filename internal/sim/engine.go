@@ -74,6 +74,7 @@ type Engine struct {
 	// guard against runaway event loops in tests.
 	EventLimit uint64
 	fired      uint64
+	metrics    *EngineMetrics
 }
 
 // ErrEventLimit is returned by Run variants when EventLimit is exceeded.
@@ -103,6 +104,10 @@ func (e *Engine) Schedule(delay Time, fn func()) (*Event, error) {
 	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	if m := e.metrics; m != nil {
+		m.EventsScheduled.Inc()
+		m.QueueHighWater.SetMax(float64(len(e.queue)))
+	}
 	return ev, nil
 }
 
@@ -123,6 +128,9 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -1
+	if m := e.metrics; m != nil {
+		m.EventsCancelled.Inc()
+	}
 }
 
 // Step fires the earliest pending event. It reports false when the queue is
@@ -134,12 +142,17 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.at
 	e.fired++
+	if m := e.metrics; m != nil {
+		m.EventsFired.Inc()
+	}
 	ev.fn()
 	return true
 }
 
 // Run fires events until the queue drains.
 func (e *Engine) Run() error {
+	e.metrics.beginRun(e.now)
+	defer func() { e.metrics.endRun(e.now) }()
 	for e.Step() {
 		if e.EventLimit > 0 && e.fired > e.EventLimit {
 			return ErrEventLimit
@@ -151,6 +164,8 @@ func (e *Engine) Run() error {
 // RunUntil fires events with firing time <= deadline, then advances the
 // clock to the deadline.
 func (e *Engine) RunUntil(deadline Time) error {
+	e.metrics.beginRun(e.now)
+	defer func() { e.metrics.endRun(e.now) }()
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		if !e.Step() {
 			break

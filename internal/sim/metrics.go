@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// EngineMetrics is the engine's telemetry handle set. Every field may be
+// nil (instrument only what you care about); a nil *EngineMetrics disables
+// instrumentation entirely, which is the default and costs the hot path a
+// single pointer check.
+type EngineMetrics struct {
+	// EventsFired counts callbacks executed by Step.
+	EventsFired *metrics.Counter
+	// EventsScheduled counts successful Schedule calls.
+	EventsScheduled *metrics.Counter
+	// EventsCancelled counts effective Cancel calls.
+	EventsCancelled *metrics.Counter
+	// QueueHighWater tracks the maximum pending-event queue depth.
+	QueueHighWater *metrics.Gauge
+	// VirtualWallRatio is virtual seconds advanced per wall-clock second
+	// across Run/RunUntil calls — the engine's speedup over real time.
+	VirtualWallRatio *metrics.Gauge
+
+	virtualStart Time
+	wallStart    time.Time
+}
+
+// NewEngineMetrics registers the standard engine instruments on reg. A nil
+// registry yields a fully inert (but non-nil) handle set.
+func NewEngineMetrics(reg *metrics.Registry) *EngineMetrics {
+	return &EngineMetrics{
+		EventsFired:      reg.Counter("jrsnd_sim_events_fired_total", "simulation events executed"),
+		EventsScheduled:  reg.Counter("jrsnd_sim_events_scheduled_total", "simulation events scheduled"),
+		EventsCancelled:  reg.Counter("jrsnd_sim_events_cancelled_total", "simulation events cancelled before firing"),
+		QueueHighWater:   reg.Gauge("jrsnd_sim_queue_high_water", "maximum pending-event queue depth"),
+		VirtualWallRatio: reg.Gauge("jrsnd_sim_virtual_wall_ratio", "virtual seconds simulated per wall-clock second"),
+	}
+}
+
+// Instrument attaches m to the engine; pass nil to detach.
+func (e *Engine) Instrument(m *EngineMetrics) { e.metrics = m }
+
+// beginRun snapshots the clocks so endRun can report the virtual-vs-wall
+// time ratio of one Run/RunUntil span.
+func (m *EngineMetrics) beginRun(now Time) {
+	if m == nil {
+		return
+	}
+	m.virtualStart = now
+	m.wallStart = time.Now()
+}
+
+func (m *EngineMetrics) endRun(now Time) {
+	if m == nil {
+		return
+	}
+	wall := time.Since(m.wallStart).Seconds()
+	if wall <= 0 {
+		return
+	}
+	m.VirtualWallRatio.SetMax(float64(now-m.virtualStart) / wall)
+}

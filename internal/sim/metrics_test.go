@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestEngineInstrumentation(t *testing.T) {
+	reg := metrics.New()
+	e := NewEngine()
+	e.Instrument(NewEngineMetrics(reg))
+
+	var fired int
+	for i := 0; i < 5; i++ {
+		e.MustSchedule(Time(i), func() { fired++ })
+	}
+	cancel := e.MustSchedule(10, func() { fired++ })
+	e.Cancel(cancel)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d callbacks, want 5", fired)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["jrsnd_sim_events_scheduled_total"]; got != 6 {
+		t.Errorf("scheduled = %d, want 6", got)
+	}
+	if got := snap.Counters["jrsnd_sim_events_fired_total"]; got != 5 {
+		t.Errorf("fired = %d, want 5", got)
+	}
+	if got := snap.Counters["jrsnd_sim_events_cancelled_total"]; got != 1 {
+		t.Errorf("cancelled = %d, want 1", got)
+	}
+	if got := snap.Gauges["jrsnd_sim_queue_high_water"]; got < 5 || got > 6 {
+		t.Errorf("queue high water = %v, want 5..6", got)
+	}
+	if _, ok := snap.Gauges["jrsnd_sim_virtual_wall_ratio"]; !ok {
+		t.Error("virtual/wall ratio gauge not registered")
+	}
+}
+
+func TestEngineUninstrumentedStillRuns(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.MustSchedule(0, func() { ran = true })
+	if err := e.Run(); err != nil || !ran {
+		t.Fatalf("uninstrumented run failed: %v", err)
+	}
+	// Inert handle set from a nil registry must also be safe.
+	e2 := NewEngine()
+	e2.Instrument(NewEngineMetrics(nil))
+	e2.MustSchedule(0, func() {})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// jsonEvent is the wire form of an Event: one JSON object per line, with
+// the kind rendered as its string name so traces stay greppable.
+type jsonEvent struct {
+	At     float64 `json:"at"`
+	Kind   string  `json:"kind"`
+	Node   int     `json:"node"`
+	Peer   int     `json:"peer"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// KindFromString inverts Kind.String; unknown names map to 0.
+func KindFromString(s string) Kind {
+	for k := KindTx; k <= KindDrop; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
+// JSONLWriter streams events to an io.Writer as JSON Lines, preserving
+// monotonic virtual-time ordering: events are staged in a small sorted
+// window (reorderWindow entries) before being flushed, so the slightly
+// out-of-order emissions that post-run bookkeeping produces still come out
+// time-sorted. Emit is goroutine-safe. Call Close (or Flush) before reading
+// the output; a nil *JSONLWriter is a valid no-op sink.
+type JSONLWriter struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	pending []Event // sorted by At, stable for equal times
+	err     error
+	written int
+}
+
+// reorderWindow is how many events the writer holds back to restore
+// monotonic ordering. The engine emits in time order, so the window only
+// has to absorb same-instant jitter and post-run bookkeeping.
+const reorderWindow = 64
+
+// JSONLWriter is a Sink.
+var _ Sink = (*JSONLWriter)(nil)
+
+// NewJSONLWriter wraps w in a streaming JSONL trace sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// Emit stages an event for writing.
+func (j *JSONLWriter) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	// Insert keeping pending sorted by At; equal times keep emission order.
+	i := sort.Search(len(j.pending), func(i int) bool { return j.pending[i].At > e.At })
+	j.pending = append(j.pending, Event{})
+	copy(j.pending[i+1:], j.pending[i:])
+	j.pending[i] = e
+	for len(j.pending) > reorderWindow {
+		j.writeLocked(j.pending[0])
+		j.pending = j.pending[1:]
+	}
+}
+
+func (j *JSONLWriter) writeLocked(e Event) {
+	if j.err != nil {
+		return
+	}
+	line, err := json.Marshal(jsonEvent{At: e.At, Kind: e.Kind.String(), Node: e.Node, Peer: e.Peer, Detail: e.Detail})
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(line); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		j.err = err
+		return
+	}
+	j.written++
+}
+
+// Flush drains the reorder window and the underlying buffer. The writer
+// remains usable, but events emitted later with earlier timestamps than
+// anything already flushed can no longer be reordered before them.
+func (j *JSONLWriter) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, e := range j.pending {
+		j.writeLocked(e)
+	}
+	j.pending = j.pending[:0]
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// Close flushes everything; the caller still owns the underlying writer.
+func (j *JSONLWriter) Close() error { return j.Flush() }
+
+// Written returns how many events have reached the underlying writer.
+func (j *JSONLWriter) Written() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.written + len(j.pending)
+}
+
+// ReadJSONL parses a JSONL trace back into events, verifying that the
+// stream is monotonic in virtual time.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	last := 0.0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		if len(out) > 0 && je.At < last {
+			return nil, fmt.Errorf("trace: line %d: time %v before previous event at %v", lineNo, je.At, last)
+		}
+		last = je.At
+		out = append(out, Event{At: je.At, Kind: KindFromString(je.Kind), Node: je.Node, Peer: je.Peer, Detail: je.Detail})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read JSONL: %w", err)
+	}
+	return out, nil
+}

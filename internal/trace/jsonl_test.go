@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{At: 0.1, Kind: KindTx, Node: 0, Peer: -1, Detail: "HELLO code=3 bits=26"},
+		{At: 0.2, Kind: KindJammed, Node: 1, Peer: -1, Detail: "HELLO code=7 bits=26"},
+		{At: 0.2, Kind: KindRx, Node: 2, Peer: 0, Detail: "same-instant ordering"},
+		{At: 0.5, Kind: KindDiscovery, Node: 1, Peer: 0, Detail: "via D-NDP"},
+		{At: 0.9, Kind: KindRevocation, Node: -1, Peer: -1, Detail: "code 5 revoked"},
+	}
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if got := w.Written(); got != len(events) {
+		t.Fatalf("Written = %d, want %d", got, len(events))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip returned %d events, want %d", len(back), len(events))
+	}
+	for i, e := range events {
+		if back[i] != e {
+			t.Errorf("event %d: got %+v, want %+v", i, back[i], e)
+		}
+	}
+}
+
+// TestJSONLReordersWithinWindow: events emitted slightly out of order (as
+// post-run bookkeeping does) must still stream out monotonically.
+func TestJSONLReordersWithinWindow(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	w.Emit(Event{At: 1.0, Kind: KindTx, Node: 0, Peer: -1})
+	w.Emit(Event{At: 0.5, Kind: KindTx, Node: 1, Peer: -1}) // late emission
+	w.Emit(Event{At: 2.0, Kind: KindTx, Node: 2, Peer: -1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("stream not monotonic: %v", err)
+	}
+	if back[0].At != 0.5 || back[1].At != 1.0 || back[2].At != 2.0 {
+		t.Errorf("order = %v %v %v, want 0.5 1 2", back[0].At, back[1].At, back[2].At)
+	}
+}
+
+func TestJSONLLargeStreamStaysMonotonic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	// More than the reorder window, with interleaved same-time events.
+	for i := 0; i < 1000; i++ {
+		w.Emit(Event{At: float64(i / 2), Kind: KindTx, Node: i, Peer: -1})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1000 {
+		t.Fatalf("got %d events, want 1000", len(back))
+	}
+}
+
+func TestJSONLNilAndGarbage(t *testing.T) {
+	var w *JSONLWriter
+	w.Emit(Event{At: 1}) // no-op
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Written() != 0 {
+		t.Fatal("nil writer must report zero events")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("garbage line must fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader(
+		"{\"at\":2,\"kind\":\"tx\",\"node\":0,\"peer\":-1}\n{\"at\":1,\"kind\":\"tx\",\"node\":1,\"peer\":-1}\n")); err == nil {
+		t.Error("non-monotonic stream must fail")
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for k := KindTx; k <= KindDrop; k++ {
+		if got := KindFromString(k.String()); got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if KindFromString("nonsense") != 0 {
+		t.Error("unknown kind name must map to 0")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	rec, err := NewRecorder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	var nilRec *Recorder
+	s := Multi(nilRec, nil, rec, w)
+	s.Emit(Event{At: 1, Kind: KindTx, Node: 0, Peer: -1})
+	if rec.Len() != 1 {
+		t.Error("recorder missed the event")
+	}
+	if w.Written() != 1 {
+		t.Error("JSONL writer missed the event")
+	}
+	if Multi(nil, nilRec) != nil {
+		t.Error("Multi with no usable sinks must return nil")
+	}
+	if Multi(rec) != Sink(rec) {
+		t.Error("Multi with one sink must return it unwrapped")
+	}
+}
+
+func TestConcurrentSinks(t *testing.T) {
+	rec, err := NewRecorder(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e := Event{At: float64(g), Kind: KindTx, Node: g, Peer: -1}
+				rec.Emit(e)
+				w.Emit(e)
+				_ = rec.Len()
+				_ = rec.Counts()
+			}
+		}()
+	}
+	wg.Wait()
+	if rec.Len() != 128 || rec.Dropped() != 8*200-128 {
+		t.Errorf("recorder len=%d dropped=%d", rec.Len(), rec.Dropped())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Written() != 8*200 {
+		t.Errorf("writer saw %d events, want %d", w.Written(), 8*200)
+	}
+}

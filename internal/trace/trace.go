@@ -1,6 +1,7 @@
 // Package trace provides structured event tracing for the protocol
-// engine: a bounded in-memory recorder that protocol components emit typed
-// events into, with filtering and text rendering. Traces make the
+// engine: protocol components emit typed events into a pluggable Sink —
+// a bounded in-memory ring Recorder with filtering and text rendering, a
+// streaming JSONL writer, or any combination via Multi. Traces make the
 // four-message D-NDP dance and the M-NDP flood inspectable in tests and
 // examples without print-debugging the engine.
 package trace
@@ -9,7 +10,46 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
+
+// Sink consumes protocol events. Implementations must tolerate concurrent
+// Emit calls: the engine itself is single-threaded, but a sink may be
+// shared by parallel campaign runs.
+type Sink interface {
+	Emit(Event)
+}
+
+// Multi fans every event out to all the given sinks, skipping nils. It
+// returns nil when no usable sink remains, so the result can be stored
+// directly in a config field.
+func Multi(sinks ...Sink) Sink {
+	var kept []Sink
+	for _, s := range sinks {
+		if s == nil {
+			continue
+		}
+		if r, ok := s.(*Recorder); ok && r == nil {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multiSink(kept)
+}
+
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
 
 // Kind classifies trace events.
 type Kind int
@@ -69,13 +109,18 @@ func (e Event) String() string {
 
 // Recorder collects events up to a capacity, then drops the oldest
 // (ring-buffer semantics). A nil *Recorder is a valid no-op sink, so
-// callers can emit unconditionally.
+// callers can emit unconditionally. All methods are goroutine-safe, so a
+// single Recorder can be shared across parallel campaign runs.
 type Recorder struct {
+	mu      sync.Mutex
 	cap     int
 	events  []Event
 	start   int // ring start index
 	dropped int
 }
+
+// Recorder is the canonical Sink implementation.
+var _ Sink = (*Recorder)(nil)
 
 // NewRecorder creates a recorder holding at most capacity events.
 func NewRecorder(capacity int) (*Recorder, error) {
@@ -90,6 +135,8 @@ func (r *Recorder) Emit(e Event) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.events) < r.cap {
 		r.events = append(r.events, e)
 		return
@@ -104,6 +151,8 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return len(r.events)
 }
 
@@ -112,6 +161,8 @@ func (r *Recorder) Dropped() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.dropped
 }
 
@@ -120,9 +171,13 @@ func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]Event, 0, len(r.events))
 	for i := 0; i < len(r.events); i++ {
-		out = append(out, r.events[(r.start+i)%len(r.events)])
+		// The ring wraps at the configured capacity; before the buffer
+		// first fills, start is 0 and the modulus is inert.
+		out = append(out, r.events[(r.start+i)%r.cap])
 	}
 	return out
 }

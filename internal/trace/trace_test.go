@@ -54,6 +54,42 @@ func TestRingEviction(t *testing.T) {
 	}
 }
 
+// TestRingExactlyAtCapacity is the regression test for the wraparound
+// boundary: with exactly cap events emitted, start is still 0 and the ring
+// has just become full; the modular walk must use the configured capacity,
+// not wrap early or skip entries.
+func TestRingExactlyAtCapacity(t *testing.T) {
+	const cap = 4
+	r, err := NewRecorder(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cap; i++ {
+		r.Emit(Event{At: float64(i), Kind: KindTx, Node: i})
+	}
+	if r.Len() != cap || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want %d/0", r.Len(), r.Dropped(), cap)
+	}
+	events := r.Events()
+	for i := 0; i < cap; i++ {
+		if events[i].Node != i {
+			t.Fatalf("at-capacity order wrong: %+v", events)
+		}
+	}
+	// One more event crosses the boundary: the oldest is evicted and the
+	// chronological walk now starts mid-ring.
+	r.Emit(Event{At: float64(cap), Kind: KindTx, Node: cap})
+	events = r.Events()
+	if r.Dropped() != 1 || len(events) != cap {
+		t.Fatalf("post-boundary len=%d dropped=%d", len(events), r.Dropped())
+	}
+	for i := 0; i < cap; i++ {
+		if events[i].Node != i+1 {
+			t.Fatalf("post-boundary order wrong: %+v", events)
+		}
+	}
+}
+
 func TestFilter(t *testing.T) {
 	r, _ := NewRecorder(16)
 	r.Emit(Event{Kind: KindTx, Node: 1, Peer: 2, Detail: "HELLO code=5"})

@@ -56,6 +56,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -214,7 +215,12 @@ func PrintFigure(w io.Writer, f Figure) error { return experiment.Print(w, f) }
 // WriteFigureCSV emits a figure as CSV.
 func WriteFigureCSV(w io.Writer, f Figure) error { return experiment.WriteCSV(w, f) }
 
-// Tracing — structured protocol-event recording (NetworkConfig.Trace).
+// Observability — structured protocol-event tracing (NetworkConfig.Trace)
+// and the metric registry (NetworkConfig.Metrics).
+
+// TraceSink receives protocol events; implementations include the bounded
+// TraceRecorder and the streaming TraceJSONLWriter.
+type TraceSink = trace.Sink
 
 // TraceRecorder collects protocol events during a simulation.
 type TraceRecorder = trace.Recorder
@@ -222,9 +228,39 @@ type TraceRecorder = trace.Recorder
 // TraceEvent is one recorded protocol event.
 type TraceEvent = trace.Event
 
+// TraceJSONLWriter streams protocol events as JSON Lines.
+type TraceJSONLWriter = trace.JSONLWriter
+
 // NewTraceRecorder creates a bounded event recorder to pass in
 // NetworkConfig.Trace.
 func NewTraceRecorder(capacity int) (*TraceRecorder, error) { return trace.NewRecorder(capacity) }
+
+// NewTraceJSONLWriter creates a streaming JSONL sink for
+// NetworkConfig.Trace; call Close when the run finishes.
+func NewTraceJSONLWriter(w io.Writer) *TraceJSONLWriter { return trace.NewJSONLWriter(w) }
+
+// MultiTrace fans protocol events out to several sinks at once.
+func MultiTrace(sinks ...TraceSink) TraceSink { return trace.Multi(sinks...) }
+
+// MetricsRegistry collects counters, gauges and histograms from an
+// instrumented deployment; pass one in NetworkConfig.Metrics and call
+// Snapshot after the run.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry, mergeable across
+// Monte-Carlo runs and exportable as Prometheus text or JSON.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsRegistry creates an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// WriteMetricsPrometheus renders a snapshot in the Prometheus text format.
+func WriteMetricsPrometheus(w io.Writer, s MetricsSnapshot) error {
+	return metrics.WritePrometheus(w, s)
+}
+
+// WriteMetricsJSON renders a snapshot as indented JSON.
+func WriteMetricsJSON(w io.Writer, s MetricsSnapshot) error { return metrics.WriteJSON(w, s) }
 
 // Baselines — the schemes the paper argues against (§I/§II).
 
