@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 race bench report
+.PHONY: build test tier1 race bench report chaos
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,18 @@ test: build
 	$(GO) test ./...
 
 # tier1 is the full quality gate: vet plus the whole suite under the race
-# detector (the trace sinks and metric registry are exercised concurrently).
+# detector (the trace sinks and metric registry are exercised concurrently),
+# then the chaos fault matrix.
 tier1: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) chaos
+
+# chaos runs the fault-injection matrix under the race detector: jammer ×
+# churn × channel-loss cells with invariant and determinism checking. See
+# docs/robustness.md.
+chaos:
+	$(GO) test -race -run 'TestChaosMatrix|TestRunChaosMatrixPasses' ./internal/faults ./cmd/jrsnd-sim
 
 race:
 	$(GO) test -race ./...

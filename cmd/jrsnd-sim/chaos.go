@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// runChaos executes the full fault matrix and prints one line per cell.
+// The returned count is the number of failed cells (invariant violations
+// plus non-deterministic replays); the caller maps it to the exit code.
+func runChaos(w io.Writer, seed int64) (int, error) {
+	cells := faults.Matrix()
+	fmt.Fprintf(w, "chaos: %d-cell fault matrix (jammer × churn × loss), seed %d\n\n", len(cells), seed)
+	fmt.Fprintf(w, "  %-34s %10s %8s %s\n", "cell", "discovered", "determ.", "violations")
+	start := time.Now()
+	failed := 0
+	results, err := faults.RunMatrix(cells, seed)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range results {
+		status := "ok"
+		if len(r.Violations) > 0 {
+			status = fmt.Sprintf("%d", len(r.Violations))
+		}
+		fmt.Fprintf(w, "  %-34s %10d %8t %s\n", r.Cell.Name, r.Discovered, r.Deterministic, status)
+		if !r.Passed() {
+			failed++
+			for _, v := range r.Violations {
+				fmt.Fprintf(w, "    !! %v\n", v)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n%d/%d cells passed in %v\n", len(results)-failed, len(results), time.Since(start).Round(time.Millisecond))
+	return failed, nil
+}

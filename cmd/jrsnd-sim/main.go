@@ -40,11 +40,30 @@ func main() {
 		list    = flag.Bool("list", false, "list the available experiment ids and exit")
 		mfile   = flag.String("metrics", "", "run one instrumented protocol-engine deployment and write the metric snapshot here (.json for JSON, anything else for Prometheus text)")
 		tfile   = flag.String("trace-jsonl", "", "with an instrumented deployment, stream protocol trace events to this JSONL file")
+		chaos   = flag.Bool("chaos", false, "run the fault matrix (jammer × churn × loss) with invariant checking; exits non-zero on any violation")
 	)
 	flag.Parse()
 	if *list {
 		for _, id := range experimentIDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *chaos {
+		// The chaos harness fixes its own deployment and adversaries; the
+		// experiment-selection flags cannot apply.
+		if *point || *mfile != "" || *tfile != "" || *n != 0 || *q != -1 {
+			fmt.Fprintln(os.Stderr, "jrsnd-sim: -chaos cannot be combined with -point, -metrics, -trace-jsonl, -n, or -q")
+			os.Exit(2)
+		}
+		violations, err := runChaos(os.Stdout, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
+			os.Exit(1)
+		}
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "jrsnd-sim: %d invariant violations\n", violations)
+			os.Exit(1)
 		}
 		return
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/metrics"
@@ -146,5 +147,22 @@ func TestRunPoint(t *testing.T) {
 	}
 	if err := runPoint(1, 1, "bogus", 0, -1); err == nil {
 		t.Fatal("accepted unknown jammer")
+	}
+}
+
+func TestRunChaosMatrixPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix in -short mode")
+	}
+	var sb strings.Builder
+	failed, err := runChaos(&sb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("chaos matrix failed %d cells:\n%s", failed, sb.String())
+	}
+	if !strings.Contains(sb.String(), "16/16 cells passed") {
+		t.Fatalf("unexpected chaos summary:\n%s", sb.String())
 	}
 }

@@ -13,6 +13,7 @@ package codepool
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -335,4 +336,21 @@ func (s *CodeSet) Len() int {
 		return 0
 	}
 	return s.count
+}
+
+// Rank returns c's position in the sorted enumeration of the set (the
+// number of members strictly below c), or -1 when c is not a member. A
+// sweep-style adversary uses it to rotate a fixed-size target window
+// across its compromised codes without materializing the list.
+func (s *CodeSet) Rank(c CodeID) int {
+	if !s.Contains(c) {
+		return -1
+	}
+	w, b := int(c)/64, uint(c)%64
+	rank := 0
+	for i := 0; i < w; i++ {
+		rank += bits.OnesCount64(s.bits[i])
+	}
+	rank += bits.OnesCount64(s.bits[w] & (1<<b - 1))
+	return rank
 }

@@ -29,7 +29,7 @@ func (nd *Node) helloProcDelay() sim.Time {
 		return 0
 	}
 	tp := nd.net.params.TProcess()
-	return sim.Time(nd.rng.Float64()*tp + nd.rng.Float64()*tp)
+	return sim.Time((nd.rng.Float64()*tp + nd.rng.Float64()*tp) * nd.skew)
 }
 
 // confirmProcDelay is the initiator's residual-processing plus scan time
@@ -40,7 +40,7 @@ func (nd *Node) confirmProcDelay() sim.Time {
 		return 0
 	}
 	p := nd.net.params
-	return sim.Time(nd.rng.Float64()*p.TProcess() + nd.rng.Float64()*p.Lambda()*p.THello())
+	return sim.Time((nd.rng.Float64()*p.TProcess() + nd.rng.Float64()*p.Lambda()*p.THello()) * nd.skew)
 }
 
 // keyDelay is the ID-based shared-key computation time t_key.
@@ -48,12 +48,15 @@ func (nd *Node) keyDelay() sim.Time {
 	if !nd.net.cfg.ModelProcessingDelays {
 		return 0
 	}
-	return sim.Time(nd.net.params.TKey)
+	return sim.Time(nd.net.params.TKey * nd.skew)
 }
 
 // initiateDNDP starts one D-NDP round: broadcast the HELLO spread with
 // every code in ℂ, sequentially.
 func (nd *Node) initiateDNDP() {
+	if nd.down || nd.compromised {
+		return
+	}
 	now := nd.net.engine.Now()
 	nd.initiator = &dndpInitiatorState{
 		nonce:     nd.newNonce(),
@@ -63,6 +66,8 @@ func (nd *Node) initiateDNDP() {
 	if _, ok := nd.net.initTime[nd.id]; !ok {
 		nd.net.initTime[nd.id] = now
 	}
+	nd.dndpAttempts++
+	nd.scheduleDNDPRetryCheck()
 	p := nd.net.params
 	helloBits := p.LenType + p.LenID
 	th := sim.Time(p.THello())
@@ -72,6 +77,9 @@ func (nd *Node) initiateDNDP() {
 		}
 		c := c
 		nd.net.engine.MustSchedule(sim.Time(i)*th, func() {
+			if nd.down {
+				return
+			}
 			_ = nd.net.medium.Broadcast(nd.index, radio.Message{
 				Kind:        kindHello,
 				Code:        c,
@@ -93,7 +101,17 @@ func (nd *Node) onHello(msg radio.Message) {
 		return // cannot de-spread, or locally revoked (§V-D)
 	}
 	if nd.IsLogicalNeighbor(p.Initiator) {
-		return
+		if !nd.retryEnabled() {
+			return
+		}
+		// The peer is re-initiating even though we hold a session with it:
+		// its side of the handshake never completed (e.g. our AUTH2 was
+		// destroyed). Re-run the responder path so the peer can finish —
+		// acceptNeighbor is idempotent and the ID-derived key is unchanged,
+		// so our own state only gains a fresh handshake record.
+		if rs := nd.responders[p.Initiator]; rs != nil && rs.accepted {
+			delete(nd.responders, p.Initiator)
+		}
 	}
 	rs := nd.responders[p.Initiator]
 	if rs == nil {
@@ -103,6 +121,7 @@ func (nd *Node) onHello(msg radio.Message) {
 			firstHello: nd.net.engine.Now(),
 		}
 		nd.responders[p.Initiator] = rs
+		nd.scheduleResponderReap(p.Initiator, rs)
 	}
 	if rs.accepted {
 		return
@@ -132,6 +151,9 @@ func (nd *Node) onHello(msg radio.Message) {
 // (redundancy design) or on a single random one when the ablation switch
 // disables redundancy.
 func (nd *Node) sendConfirm(initiator ibc.NodeID) {
+	if nd.down {
+		return
+	}
 	rs := nd.responders[initiator]
 	if rs == nil || rs.accepted {
 		return
@@ -172,8 +194,9 @@ func (nd *Node) onConfirm(msg radio.Message) {
 	}
 	peer := st.peers[p.Responder]
 	if peer == nil {
-		peer = &dndpInitiatorPeer{}
+		peer = &dndpInitiatorPeer{firstConfirm: nd.net.engine.Now()}
 		st.peers[p.Responder] = peer
+		nd.scheduleInitiatorPeerReap(st, p.Responder, peer)
 	}
 	if peer.done {
 		return
@@ -200,6 +223,9 @@ func (nd *Node) onConfirm(msg radio.Message) {
 // sendAuth1 computes K_AB and transmits {ID_A, n_A, f_K(ID_A|n_A)} on every
 // confirmed code.
 func (nd *Node) sendAuth1(responder ibc.NodeID) {
+	if nd.down {
+		return
+	}
 	st := nd.initiator
 	if st == nil {
 		return
@@ -254,6 +280,7 @@ func (nd *Node) onAuth1(msg radio.Message) {
 			firstHello: nd.net.engine.Now(),
 		}
 		nd.responders[p.Sender] = rs
+		nd.scheduleResponderReap(p.Sender, rs)
 	}
 	delay := sim.Time(0)
 	if !rs.haveKey {
@@ -266,6 +293,9 @@ func (nd *Node) onAuth1(msg radio.Message) {
 }
 
 func (nd *Node) verifyAuth1(sender ibc.NodeID, p authPayload, code codepool.CodeID) {
+	if nd.down {
+		return
+	}
 	rs := nd.responders[sender]
 	if rs == nil {
 		return

@@ -21,6 +21,20 @@ const (
 	kindSessionConfirm
 )
 
+// Exported message-kind aliases, so fault plans and tooling outside the
+// package can target specific protocol messages (e.g. "drop every
+// CONFIRM") without depending on the internal iota order.
+const (
+	KindHello          = kindHello
+	KindConfirm        = kindConfirm
+	KindAuth1          = kindAuth1
+	KindAuth2          = kindAuth2
+	KindMNDPRequest    = kindMNDPRequest
+	KindMNDPResponse   = kindMNDPResponse
+	KindSessionHello   = kindSessionHello
+	KindSessionConfirm = kindSessionConfirm
+)
+
 // helloPayload is the D-NDP HELLO: {HELLO, ID_A} spread with one of A's
 // pool codes.
 type helloPayload struct {

@@ -26,6 +26,14 @@ type coreMetrics struct {
 	revokedGlobal  *metrics.Counter
 	expiries       *metrics.Counter
 	evictions      *metrics.Counter
+
+	// Robustness instruments: retry/backoff state machine and churn.
+	retries        *metrics.Counter
+	fallbacks      *metrics.Counter
+	halfOpenGC     *metrics.Counter
+	crashes        *metrics.Counter
+	restarts       *metrics.Counter
+	silentExpiries *metrics.Counter
 }
 
 // messageKinds lists every protocol message kind, for per-kind counters.
@@ -69,6 +77,18 @@ func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
 			"logical neighbors dropped by the monitor timeout"),
 		evictions: reg.Counter("jrsnd_core_monitor_evictions_total",
 			"sessions evicted by the monitor-capacity budget (§IV-A)"),
+		retries: reg.Counter("jrsnd_core_handshake_retries_total",
+			"D-NDP re-initiations by the retry/backoff state machine"),
+		fallbacks: reg.Counter("jrsnd_core_mndp_fallbacks_total",
+			"graceful degradations from D-NDP to M-NDP after retry exhaustion"),
+		halfOpenGC: reg.Counter("jrsnd_core_halfopen_gc_total",
+			"half-open handshake records reclaimed by the session timeout"),
+		crashes: reg.Counter("jrsnd_core_node_crashes_total",
+			"node crashes injected by churn fault plans"),
+		restarts: reg.Counter("jrsnd_core_node_restarts_total",
+			"node restarts after churn crashes"),
+		silentExpiries: reg.Counter("jrsnd_core_silent_expiries_total",
+			"one-sided sessions dropped by the inactivity monitor timeout"),
 	}
 	for _, k := range messageKinds {
 		label := fmt.Sprintf("{kind=%q}", messageKindName(k))
@@ -109,4 +129,29 @@ func (m *coreMetrics) onMNDPFlood(targets int) {
 	}
 	m.mndpForwards.Add(uint64(targets))
 	m.mndpFanout.Observe(float64(targets))
+}
+
+// onRetry records one D-NDP re-initiation by the backoff state machine.
+func (m *coreMetrics) onRetry() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+}
+
+// onFallback records one graceful degradation to M-NDP.
+func (m *coreMetrics) onFallback() {
+	if m == nil {
+		return
+	}
+	m.fallbacks.Inc()
+}
+
+// onHalfOpenGC records one half-open handshake record reclaimed by the
+// session timeout.
+func (m *coreMetrics) onHalfOpenGC() {
+	if m == nil {
+		return
+	}
+	m.halfOpenGC.Inc()
 }

@@ -23,7 +23,7 @@ import (
 
 // initiateMNDP starts one M-NDP round toward every logical neighbor.
 func (nd *Node) initiateMNDP() {
-	if len(nd.neighbors) == 0 {
+	if nd.down || nd.compromised || len(nd.neighbors) == 0 {
 		return
 	}
 	now := nd.net.engine.Now()
@@ -40,6 +40,9 @@ func (nd *Node) initiateMNDP() {
 	req.HasOriginPos = nd.net.cfg.GPSFilter
 	nd.seenRequests[requestKey(nd.id, nonce)] = true
 	nd.net.engine.MustSchedule(nd.sigDelay(), func() {
+		if nd.down {
+			return
+		}
 		req.Hops[0].Sig = nd.signRequest(req, 0)
 		nd.forwardRequest(req)
 	})
@@ -50,14 +53,14 @@ func (nd *Node) sigDelay() sim.Time {
 	if !nd.net.cfg.ModelProcessingDelays {
 		return 0
 	}
-	return sim.Time(nd.net.params.TSig)
+	return sim.Time(nd.net.params.TSig * nd.skew)
 }
 
 func (nd *Node) verDelay(k int) sim.Time {
 	if !nd.net.cfg.ModelProcessingDelays {
 		return 0
 	}
-	return sim.Time(float64(k) * nd.net.params.TVer)
+	return sim.Time(float64(k) * nd.net.params.TVer * nd.skew)
 }
 
 // signRequest signs the request contents up to and including hop i.
@@ -238,6 +241,9 @@ func (nd *Node) processRequest(req mndpRequest) {
 			Neighbors: nd.neighborIDs(),
 		})
 		nd.net.engine.MustSchedule(nd.sigDelay(), func() {
+			if nd.down {
+				return
+			}
 			fwd.Hops[len(fwd.Hops)-1].Sig = nd.signRequest(fwd, len(fwd.Hops)-1)
 			nd.forwardRequest(fwd)
 		})
@@ -264,9 +270,14 @@ func (nd *Node) respondToRequest(req mndpRequest) {
 		resp.ReturnRoute = append(resp.ReturnRoute, req.Hops[i].ID)
 	}
 	nd.net.engine.MustSchedule(nd.keyDelay()+nd.sigDelay(), func() {
+		if nd.down {
+			return
+		}
 		key := nd.priv.SharedKey(origin)
 		nd.stats.KeyComputations++
-		nd.mndpIn[origin] = &mndpPending{peer: origin, key: key, initiatedAt: nd.net.engine.Now()}
+		pending := &mndpPending{peer: origin, key: key, initiatedAt: nd.net.engine.Now()}
+		nd.mndpIn[origin] = pending
+		nd.scheduleMNDPReap(nd.mndpIn, origin, pending)
 		resp.Path = []mndpHop{{ID: nd.id, Neighbors: nd.neighborIDs()}}
 		resp.Path[0].Sig = nd.priv.Sign(encodeResponse(resp, 0))
 		next := int(origin)
@@ -302,8 +313,11 @@ func (nd *Node) beaconSessionHello(origin ibc.NodeID) {
 	for i := 1; i <= beacons; i++ {
 		at := tauH * sim.Time(i) / sim.Time(beacons)
 		nd.net.engine.MustSchedule(at, func() {
+			if nd.down {
+				return
+			}
 			if _, pending := nd.mndpIn[origin]; !pending {
-				return // already confirmed
+				return // already confirmed (or reaped by the session timeout)
 			}
 			_ = nd.net.medium.Broadcast(nd.index, radio.Message{
 				Kind:        kindSessionHello,
@@ -361,6 +375,9 @@ func (nd *Node) processResponse(resp mndpResponse) {
 			Neighbors: nd.neighborIDs(),
 		})
 		nd.net.engine.MustSchedule(nd.sigDelay(), func() {
+			if nd.down {
+				return
+			}
 			fwd.Path[len(fwd.Path)-1].Sig = nd.priv.Sign(encodeResponse(fwd, len(fwd.Path)-1))
 			_ = nd.net.medium.Unicast(nd.index, next, radio.Message{
 				Kind:        kindMNDPResponse,
@@ -380,13 +397,19 @@ func (nd *Node) processResponse(resp mndpResponse) {
 		return
 	}
 	nd.net.engine.MustSchedule(nd.keyDelay(), func() {
+		if nd.down {
+			return
+		}
 		key := nd.priv.SharedKey(responder)
 		nd.stats.KeyComputations++
-		nd.mndpOut[responder] = &mndpPending{peer: responder, key: key, initiatedAt: nd.net.engine.Now()}
+		pending := &mndpPending{peer: responder, key: key, initiatedAt: nd.net.engine.Now()}
+		nd.mndpOut[responder] = pending
 		if nd.net.cfg.AcceptWithoutBeacon {
 			nd.acceptNeighbor(responder, ViaMNDP, key)
 			delete(nd.mndpOut, responder)
+			return
 		}
+		nd.scheduleMNDPReap(nd.mndpOut, responder, pending)
 	})
 }
 
@@ -397,12 +420,21 @@ func (nd *Node) onSessionHello(from int, msg radio.Message) {
 	if !ok || p.Peer != nd.id {
 		return
 	}
-	pending, exists := nd.mndpOut[p.Sender]
-	if !exists || int(p.Sender) != from {
+	if int(p.Sender) != from {
 		return
 	}
-	nd.acceptNeighbor(p.Sender, ViaMNDP, pending.key)
-	delete(nd.mndpOut, p.Sender)
+	pending, exists := nd.mndpOut[p.Sender]
+	if !exists {
+		// With retries on, a beacon from a peer we already accepted means
+		// our previous SESS-CONFIRM was destroyed and the responder is
+		// still waiting: re-acknowledge so it can close its half-open side.
+		if !nd.retryEnabled() || !nd.IsLogicalNeighbor(p.Sender) {
+			return
+		}
+	} else {
+		nd.acceptNeighbor(p.Sender, ViaMNDP, pending.key)
+		delete(nd.mndpOut, p.Sender)
+	}
 	params := nd.net.params
 	_ = nd.net.medium.Unicast(nd.index, from, radio.Message{
 		Kind:        kindSessionConfirm,

@@ -49,6 +49,13 @@ const (
 	// JamIntelligent is the §V-B "intelligent attack": let HELLOs pass so
 	// victims commit to a code, then reactively jam the follow-ups.
 	JamIntelligent
+	// JamPulse is a duty-cycled (partial-time) reactive jammer: it only
+	// destroys a known-code transmission while its pulse is on
+	// (NetworkConfig.PulseDuty fraction of the time).
+	JamPulse
+	// JamSweep rotates a window of jamming emitters across the compromised
+	// codes once per epoch (NetworkConfig.SweepWindow/SweepEpoch).
+	JamSweep
 )
 
 func (k JammerKind) String() string {
@@ -61,6 +68,10 @@ func (k JammerKind) String() string {
 		return "reactive"
 	case JamIntelligent:
 		return "intelligent"
+	case JamPulse:
+		return "pulse"
+	case JamSweep:
+		return "sweep"
 	default:
 		return "unknown"
 	}
@@ -109,6 +120,25 @@ type NetworkConfig struct {
 	// exceed the budget, the node stops monitoring its oldest session —
 	// evicting that logical neighbor. 0 means unlimited.
 	MonitorBudget int
+	// Retry enables the handshake retry/backoff state machine (per-session
+	// timeouts, half-open GC, randomized-backoff D-NDP retries, M-NDP
+	// fallback). Nil keeps the paper's happy-path behavior.
+	Retry *RetryConfig
+	// Faults injects channel faults (loss, duplication, bounded reorder)
+	// into the medium; see internal/faults for seed-driven plans.
+	Faults radio.FaultInjector
+	// PulseDuty is the JamPulse on-fraction in (0, 1]; 0 defaults to 0.5.
+	PulseDuty float64
+	// SweepWindow is the number of codes JamSweep targets at once;
+	// 0 defaults to 1/4 of the compromised set (at least 1).
+	SweepWindow int
+	// SweepEpoch is the JamSweep rotation period in virtual seconds;
+	// 0 defaults to 0.1 s.
+	SweepEpoch float64
+	// ClockSkewSpread gives each node a local-clock skew multiplier drawn
+	// uniformly from [1-spread, 1+spread], applied to its processing
+	// delays (visible when ModelProcessingDelays is on). Must be in [0, 1).
+	ClockSkewSpread float64
 }
 
 // PairDiscovery records a completed mutual discovery.
@@ -158,6 +188,12 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	if p.N > 1<<16 {
 		return nil, fmt.Errorf("core: n=%d exceeds the 16-bit ID space", p.N)
 	}
+	if err := cfg.Retry.validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.ClockSkewSpread < 0 || cfg.ClockSkewSpread >= 1 {
+		return nil, fmt.Errorf("core: ClockSkewSpread %v outside [0, 1)", cfg.ClockSkewSpread)
+	}
 	streams := sim.NewStreams(cfg.Seed)
 	engine := sim.NewEngine()
 
@@ -200,6 +236,28 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		}
 	case JamIntelligent:
 		jammer = radio.NewIntelligentJammer(compromised, []int{kindHello})
+	case JamPulse:
+		duty := cfg.PulseDuty
+		if duty == 0 {
+			duty = 0.5
+		}
+		jammer, err = radio.NewPulseJammer(radio.NewReactiveJammer(compromised), duty, streams.Get("jammer"))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	case JamSweep:
+		window := cfg.SweepWindow
+		if window == 0 {
+			window = max(1, p.Q*p.M/4) // ~1/4 of the worst-case compromised set
+		}
+		epoch := cfg.SweepEpoch
+		if epoch == 0 {
+			epoch = 0.1
+		}
+		jammer, err = radio.NewSweepJammer(compromised, window, sim.Time(epoch), engine.Now)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown jammer kind %d", cfg.Jammer)
 	}
@@ -255,6 +313,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		ChipRate: p.ChipRate,
 		Mu:       p.Mu,
 		Observer: observer,
+		Faults:   cfg.Faults,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -263,39 +322,53 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	n.nodes = make([]*Node, p.N)
 	keyRng := streams.Get("node-keys")
 	for i := 0; i < p.N; i++ {
-		priv, err := authority.Issue(ibc.NodeID(i), keyRng)
+		node, err := n.newNode(i, keyRng)
 		if err != nil {
-			return nil, fmt.Errorf("core: issue node %d: %w", i, err)
-		}
-		revoker, err := codepool.NewRevoker(p.Gamma)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		codes := pool.Codes(i)
-		codeSet := make(map[codepool.CodeID]bool, len(codes))
-		for _, c := range codes {
-			codeSet[c] = true
-		}
-		node := &Node{
-			net:          n,
-			index:        i,
-			id:           ibc.NodeID(i),
-			codes:        codes,
-			codeSet:      codeSet,
-			priv:         priv,
-			revoker:      revoker,
-			rng:          streams.Get(fmt.Sprintf("node-%d", i)),
-			neighbors:    map[ibc.NodeID]*Neighbor{},
-			responders:   map[ibc.NodeID]*dndpResponderState{},
-			seenRequests: map[string]bool{},
-			mndpOut:      map[ibc.NodeID]*mndpPending{},
-			mndpIn:       map[ibc.NodeID]*mndpPending{},
-			mndpStart:    map[ibc.NodeID]sim.Time{},
+			return nil, err
 		}
 		n.nodes[i] = node
 		n.medium.Attach(i, node.handle)
 	}
 	return n, nil
+}
+
+// newNode issues keys and codes for node idx and builds its protocol
+// state. The caller appends it to n.nodes and attaches it to the medium.
+func (n *Network) newNode(idx int, keyRng *rand.Rand) (*Node, error) {
+	priv, err := n.authority.Issue(ibc.NodeID(idx), keyRng)
+	if err != nil {
+		return nil, fmt.Errorf("core: issue node %d: %w", idx, err)
+	}
+	revoker, err := codepool.NewRevoker(n.params.Gamma)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	codes := n.pool.Codes(idx)
+	codeSet := make(map[codepool.CodeID]bool, len(codes))
+	for _, c := range codes {
+		codeSet[c] = true
+	}
+	skew := 1.0
+	if spread := n.cfg.ClockSkewSpread; spread > 0 {
+		skew = 1 + spread*(2*n.streams.Get("clock-skew").Float64()-1)
+	}
+	return &Node{
+		net:          n,
+		index:        idx,
+		id:           ibc.NodeID(idx),
+		codes:        codes,
+		codeSet:      codeSet,
+		priv:         priv,
+		revoker:      revoker,
+		rng:          n.streams.Get(fmt.Sprintf("node-%d", idx)),
+		neighbors:    map[ibc.NodeID]*Neighbor{},
+		responders:   map[ibc.NodeID]*dndpResponderState{},
+		seenRequests: map[string]bool{},
+		mndpOut:      map[ibc.NodeID]*mndpPending{},
+		mndpIn:       map[ibc.NodeID]*mndpPending{},
+		mndpStart:    map[ibc.NodeID]sim.Time{},
+		skew:         skew,
+	}, nil
 }
 
 // emit forwards a protocol event to the configured trace sink, if any.
@@ -389,34 +462,9 @@ func (n *Network) JoinNode(pos field.Point) (int, error) {
 	if idx != len(n.nodes) {
 		return 0, fmt.Errorf("core: pool join index %d does not match node count %d", idx, len(n.nodes))
 	}
-	priv, err := n.authority.Issue(ibc.NodeID(idx), n.streams.Get("node-keys"))
+	node, err := n.newNode(idx, n.streams.Get("node-keys"))
 	if err != nil {
-		return 0, fmt.Errorf("core: %w", err)
-	}
-	revoker, err := codepool.NewRevoker(n.params.Gamma)
-	if err != nil {
-		return 0, fmt.Errorf("core: %w", err)
-	}
-	codes := n.pool.Codes(idx)
-	codeSet := make(map[codepool.CodeID]bool, len(codes))
-	for _, c := range codes {
-		codeSet[c] = true
-	}
-	node := &Node{
-		net:          n,
-		index:        idx,
-		id:           ibc.NodeID(idx),
-		codes:        codes,
-		codeSet:      codeSet,
-		priv:         priv,
-		revoker:      revoker,
-		rng:          n.streams.Get(fmt.Sprintf("node-%d", idx)),
-		neighbors:    map[ibc.NodeID]*Neighbor{},
-		responders:   map[ibc.NodeID]*dndpResponderState{},
-		seenRequests: map[string]bool{},
-		mndpOut:      map[ibc.NodeID]*mndpPending{},
-		mndpIn:       map[ibc.NodeID]*mndpPending{},
-		mndpStart:    map[ibc.NodeID]sim.Time{},
+		return 0, err
 	}
 	n.nodes = append(n.nodes, node)
 	n.positions = append(n.positions, pos)
@@ -432,17 +480,93 @@ func (n *Network) JoinNode(pos field.Point) (int, error) {
 // RunDiscoveryFor schedules one D-NDP initiation by the given node and
 // drains the engine — the natural first act of a freshly joined node.
 func (n *Network) RunDiscoveryFor(node int) error {
-	if node < 0 || node >= len(n.nodes) {
-		return fmt.Errorf("core: node index %d out of range", node)
-	}
-	if n.nodes[node].compromised {
-		return fmt.Errorf("core: node %d is compromised", node)
-	}
-	nd := n.nodes[node]
-	if _, err := n.engine.Schedule(0, func() { nd.initiateDNDP() }); err != nil {
+	if err := n.ScheduleDiscovery(node, 0); err != nil {
 		return err
 	}
 	return n.engine.Run()
+}
+
+// ScheduleDiscovery queues one D-NDP initiation by the given node after
+// delay without draining the engine, so churn plans can interleave
+// restarts and re-discovery with other scheduled faults.
+func (n *Network) ScheduleDiscovery(node int, delay sim.Time) error {
+	if node < 0 || node >= len(n.nodes) {
+		return fmt.Errorf("core: node index %d out of range", node)
+	}
+	nd := n.nodes[node]
+	if nd.compromised {
+		return fmt.Errorf("core: node %d is compromised", node)
+	}
+	_, err := n.engine.Schedule(delay, func() {
+		if !nd.down && !nd.compromised {
+			nd.startDNDP()
+		}
+	})
+	return err
+}
+
+// CrashNode fails node i (churn fault model): it loses all volatile
+// protocol state — neighbor table, handshake state, M-NDP pendings — and
+// neither sends nor receives until RestartNode. Peers keep their stale
+// view of it until the monitor timeout (ExpireStaleNeighbors) reaps it.
+func (n *Network) CrashNode(i int) error {
+	if i < 0 || i >= len(n.nodes) {
+		return fmt.Errorf("core: node index %d out of range", i)
+	}
+	nd := n.nodes[i]
+	if nd.down {
+		return nil
+	}
+	nd.down = true
+	for peer := range nd.neighbors {
+		n.dropAccepted(nd.id, peer)
+	}
+	nd.neighbors = map[ibc.NodeID]*Neighbor{}
+	nd.responders = map[ibc.NodeID]*dndpResponderState{}
+	nd.initiator = nil
+	nd.seenRequests = map[string]bool{}
+	nd.mndpOut = map[ibc.NodeID]*mndpPending{}
+	nd.mndpIn = map[ibc.NodeID]*mndpPending{}
+	nd.mndpStart = map[ibc.NodeID]sim.Time{}
+	nd.dndpAttempts = 0
+	nd.mndpFallback = false
+	delete(n.initTime, nd.id)
+	if n.m != nil {
+		n.m.crashes.Inc()
+	}
+	n.emit(trace.Event{
+		At:     float64(n.engine.Now()),
+		Kind:   trace.KindCrash,
+		Node:   i,
+		Peer:   -1,
+		Detail: "node crashed: volatile state lost",
+	})
+	return nil
+}
+
+// RestartNode brings a crashed node back up with empty protocol state; it
+// re-runs discovery only when the caller schedules it (ScheduleDiscovery
+// or the next RunDNDP round).
+func (n *Network) RestartNode(i int) error {
+	if i < 0 || i >= len(n.nodes) {
+		return fmt.Errorf("core: node index %d out of range", i)
+	}
+	nd := n.nodes[i]
+	if !nd.down {
+		return nil
+	}
+	nd.down = false
+	if n.m != nil {
+		n.m.restarts.Inc()
+	}
+	n.emit(trace.Event{
+		At:     float64(n.engine.Now()),
+		Kind:   trace.KindRestart,
+		Node:   i,
+		Peer:   -1,
+		Detail: "node restarted with empty state",
+	})
+	return nil
 }
 
 // ExpireStaleNeighbors implements the monitor-timeout policy of §IV-A at
@@ -453,11 +577,16 @@ func (n *Network) RunDiscoveryFor(node int) error {
 // later encounter runs discovery afresh. It returns the number of logical
 // links dropped.
 func (n *Network) ExpireStaleNeighbors() int {
-	dropped := 0
+	droppedPairs := map[[2]ibc.NodeID]bool{}
 	for _, nd := range n.nodes {
+		if nd.down {
+			continue // crashed nodes already lost all state
+		}
 		adjacent := map[ibc.NodeID]bool{}
 		for _, v := range n.graph.Adj[nd.index] {
-			adjacent[ibc.NodeID(v)] = true
+			if !n.nodes[v].down {
+				adjacent[ibc.NodeID(v)] = true // a crashed peer is silent: expire it
+			}
 		}
 		for peer := range nd.neighbors {
 			if adjacent[peer] {
@@ -476,6 +605,7 @@ func (n *Network) ExpireStaleNeighbors() int {
 				a, b = b, a
 			}
 			delete(n.pairLive, [2]ibc.NodeID{a, b})
+			droppedPairs[[2]ibc.NodeID{a, b}] = true
 			if n.m != nil {
 				n.m.expiries.Inc()
 			}
@@ -484,12 +614,59 @@ func (n *Network) ExpireStaleNeighbors() int {
 				Kind:   trace.KindExpiry,
 				Node:   nd.index,
 				Peer:   int(peer),
-				Detail: "monitor timeout: peer out of range",
+				Detail: "monitor timeout: peer out of range or silent",
 			})
-			dropped++
 		}
 	}
-	return dropped / 2 // counted once per endpoint
+	return len(droppedPairs)
+}
+
+// ExpireSilentSessions models the §IV-A inactivity monitor timeout on the
+// session itself: any logical-neighbor entry whose peer never reciprocated
+// (the peer's acceptance record is absent — its side crashed mid-handshake
+// or the closing message was destroyed) is dropped. Together with the
+// half-open GC this restores the symmetry invariant after arbitrary fault
+// schedules. It returns the number of one-sided entries dropped.
+func (n *Network) ExpireSilentSessions() int {
+	dropped := 0
+	for _, nd := range n.nodes {
+		if nd.down || nd.compromised {
+			continue
+		}
+		for peer := range nd.neighbors {
+			if _, ok := n.accepted[[2]ibc.NodeID{peer, nd.id}]; ok {
+				continue
+			}
+			delete(nd.neighbors, peer)
+			n.dropAccepted(nd.id, peer)
+			dropped++
+			if n.m != nil {
+				n.m.silentExpiries.Inc()
+			}
+			n.emit(trace.Event{
+				At:     float64(n.engine.Now()),
+				Kind:   trace.KindExpiry,
+				Node:   nd.index,
+				Peer:   int(peer),
+				Detail: "inactivity timeout: peer never reciprocated",
+			})
+		}
+	}
+	return dropped
+}
+
+// CompromiseCodes hands the listed pool codes to the adversary without
+// compromising any node — modeling code leakage (e.g. side-channel capture
+// of a correlator). Chaos scenarios use it to build worst-case jamming
+// fault plans.
+func (n *Network) CompromiseCodes(codes []codepool.CodeID) error {
+	for _, c := range codes {
+		if c < 0 || int(c) >= n.pool.S() {
+			return fmt.Errorf("core: code %d out of pool range [0, %d)", c, n.pool.S())
+		}
+		n.compromisedCodes.Add(c)
+	}
+	return nil
 }
 
 // UpdatePositions moves the nodes (e.g. one mobility step) and rebuilds
@@ -610,12 +787,16 @@ func (n *Network) DiscoveredPair(i, j int) bool {
 func (n *Network) RunDNDP(window sim.Time) error {
 	rng := n.rngFor("dndp-start")
 	for _, node := range n.nodes {
-		if node.compromised {
+		if node.compromised || node.down {
 			continue
 		}
 		node := node
 		start := sim.Time(rng.Float64()) * window
-		if _, err := n.engine.Schedule(start, func() { node.initiateDNDP() }); err != nil {
+		if _, err := n.engine.Schedule(start, func() {
+			if !node.down {
+				node.startDNDP()
+			}
+		}); err != nil {
 			return err
 		}
 	}
@@ -627,12 +808,16 @@ func (n *Network) RunDNDP(window sim.Time) error {
 func (n *Network) RunMNDP(window sim.Time) error {
 	rng := n.rngFor("mndp-start")
 	for _, node := range n.nodes {
-		if node.compromised {
+		if node.compromised || node.down {
 			continue
 		}
 		node := node
 		start := sim.Time(rng.Float64()) * window
-		if _, err := n.engine.Schedule(start, func() { node.initiateMNDP() }); err != nil {
+		if _, err := n.engine.Schedule(start, func() {
+			if !node.down {
+				node.initiateMNDP()
+			}
+		}); err != nil {
 			return err
 		}
 	}
@@ -641,8 +826,8 @@ func (n *Network) RunMNDP(window sim.Time) error {
 
 // handle dispatches a received message to the protocol handlers.
 func (nd *Node) handle(from int, msg radio.Message) {
-	if nd.compromised {
-		return // compromised nodes do not run the honest protocol
+	if nd.compromised || nd.down {
+		return // compromised nodes do not run the honest protocol; crashed radios are off
 	}
 	switch msg.Kind {
 	case kindHello:

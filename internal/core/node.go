@@ -64,6 +64,7 @@ type dndpInitiatorPeer struct {
 	key          [32]byte
 	haveKey      bool
 	done         bool
+	firstConfirm sim.Time // when the record was created (half-open aging)
 }
 
 // dndpResponderState tracks the responder's view of one initiator.
@@ -110,9 +111,15 @@ type Node struct {
 	mndpIn       map[ibc.NodeID]*mndpPending // sent beacon, awaiting confirm
 	mndpStart    map[ibc.NodeID]sim.Time     // my own M-NDP initiation time
 
+	// Retry/backoff state machine (active when NetworkConfig.Retry is set).
+	dndpAttempts int  // D-NDP initiations so far (budget accounting)
+	mndpFallback bool // already degraded to M-NDP once
+
 	stats NodeStats
 
 	compromised bool
+	down        bool    // crashed (node churn); neither sends nor receives
+	skew        float64 // local-clock skew multiplier on processing delays
 }
 
 // ID returns the node's identity.
@@ -130,6 +137,12 @@ func (nd *Node) Stats() NodeStats {
 
 // Compromised reports whether the adversary controls this node.
 func (nd *Node) Compromised() bool { return nd.compromised }
+
+// Down reports whether the node is crashed (churn fault model).
+func (nd *Node) Down() bool { return nd.down }
+
+// ClockSkew returns the node's local-clock skew multiplier (1 = nominal).
+func (nd *Node) ClockSkew() float64 { return nd.skew }
 
 // Neighbors returns the node's logical-neighbor table (a copy).
 func (nd *Node) Neighbors() []Neighbor {

@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ChurnEvent is one node's crash/restart cycle in a churn schedule.
+type ChurnEvent struct {
+	// Node is the index of the node that fails.
+	Node int
+	// CrashAt is the virtual time the node crashes, losing all volatile
+	// protocol state.
+	CrashAt sim.Time
+	// RestartAt is when it comes back up; must be after CrashAt. Zero
+	// means the node never restarts (a permanent failure).
+	RestartAt sim.Time
+	// RediscoverAfter is the extra delay after restart before the node
+	// re-initiates D-NDP. Ignored when RestartAt is zero.
+	RediscoverAfter sim.Time
+}
+
+// Validate rejects impossible schedules.
+func (e ChurnEvent) Validate() error {
+	if e.CrashAt < 0 {
+		return fmt.Errorf("faults: churn CrashAt %v must be >= 0", e.CrashAt)
+	}
+	if e.RestartAt != 0 && e.RestartAt <= e.CrashAt {
+		return fmt.Errorf("faults: churn RestartAt %v must follow CrashAt %v", e.RestartAt, e.CrashAt)
+	}
+	if e.RediscoverAfter < 0 {
+		return fmt.Errorf("faults: churn RediscoverAfter %v must be >= 0", e.RediscoverAfter)
+	}
+	return nil
+}
+
+// ScheduleChurn arms a churn plan on the network's engine: each event's
+// crash, restart, and re-discovery fire at their virtual times during the
+// next engine drain. Call before core's Run* methods so the events
+// interleave with protocol traffic.
+func ScheduleChurn(net *core.Network, plan []ChurnEvent) error {
+	engine := net.Engine()
+	now := engine.Now()
+	for _, e := range plan {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if e.Node < 0 || e.Node >= net.NumNodes() {
+			return fmt.Errorf("faults: churn node %d out of range", e.Node)
+		}
+		e := e
+		if _, err := engine.Schedule(e.CrashAt-now, func() { _ = net.CrashNode(e.Node) }); err != nil {
+			return err
+		}
+		if e.RestartAt == 0 {
+			continue
+		}
+		if _, err := engine.Schedule(e.RestartAt-now, func() {
+			_ = net.RestartNode(e.Node)
+		}); err != nil {
+			return err
+		}
+		if err := net.ScheduleDiscovery(e.Node, e.RestartAt-now+e.RediscoverAfter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RandomChurn draws a deterministic churn plan: count distinct nodes crash
+// at uniform times in [0, window) and restart after an outage of up to
+// window, re-running discovery shortly after. Crashing nodes are drawn
+// from [0, n).
+func RandomChurn(n, count int, window sim.Time, rng *rand.Rand) ([]ChurnEvent, error) {
+	if count < 0 || count > n {
+		return nil, fmt.Errorf("faults: cannot churn %d of %d nodes", count, n)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("faults: churn window %v must be positive", window)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("faults: rng must be set")
+	}
+	perm := rng.Perm(n)[:count]
+	plan := make([]ChurnEvent, 0, count)
+	for _, node := range perm {
+		crash := sim.Time(rng.Float64()) * window
+		outage := sim.Time(rng.Float64())*window + window/16
+		plan = append(plan, ChurnEvent{
+			Node:            node,
+			CrashAt:         crash,
+			RestartAt:       crash + outage,
+			RediscoverAfter: window / 16,
+		})
+	}
+	return plan, nil
+}

@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ibc"
+	"repro/internal/sim"
+)
+
+// Protocol invariants. After a deployment quiesces — every scheduled
+// event drained, monitor timeouts applied — the following must hold no
+// matter which fault schedule ran:
+//
+//  1. Symmetry: an up, honest node i lists j as a logical neighbor iff j
+//     lists i (discovery is mutual by construction: both D-NDP and M-NDP
+//     end in a two-sided acceptance).
+//  2. Mutual authentication: when i and j list each other, both hold the
+//     same pairwise session key — no neighbor entry exists without a
+//     completed mutual auth deriving it.
+//  3. Bounded half-open state: no handshake record is older than the
+//     retry budget (the session-timeout GC must have reclaimed it).
+//
+// A fourth invariant — same-seed determinism — is a property of whole
+// runs, not one state; the chaos harness checks it by running every cell
+// twice (see RunCell).
+
+// Violation is one invariant breach at a specific node pair.
+type Violation struct {
+	// Invariant names the broken property: "symmetry", "mutual-auth", or
+	// "half-open".
+	Invariant string
+	// Node and Peer locate the breach (Peer is -1 for single-node
+	// invariants).
+	Node, Peer int
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: node %d peer %d: %s", v.Invariant, v.Node, v.Peer, v.Detail)
+}
+
+// CheckInvariants verifies the quiescent-state invariants over every up,
+// honest node. halfOpenBudget is the maximum age a half-open handshake
+// record may have (pass the retry SessionTimeout; with retries disabled
+// any bound documents the leak). Returned violations are ordered by node
+// index for deterministic output.
+func CheckInvariants(net *core.Network, halfOpenBudget sim.Time) []Violation {
+	var out []Violation
+	skip := func(i int) bool {
+		nd := net.Node(i)
+		return nd.Down() || nd.Compromised()
+	}
+	keys := func(i int) map[ibc.NodeID][32]byte {
+		m := map[ibc.NodeID][32]byte{}
+		for _, nb := range net.Node(i).Neighbors() {
+			m[nb.ID] = nb.SessionKey
+		}
+		return m
+	}
+	for i := 0; i < net.NumNodes(); i++ {
+		if skip(i) {
+			continue
+		}
+		ki := keys(i)
+		for j := i + 1; j < net.NumNodes(); j++ {
+			if skip(j) {
+				continue
+			}
+			keyIJ, hasIJ := ki[ibc.NodeID(j)]
+			kj := keys(j)
+			keyJI, hasJI := kj[ibc.NodeID(i)]
+			if hasIJ != hasJI {
+				out = append(out, Violation{
+					Invariant: "symmetry", Node: i, Peer: j,
+					Detail: fmt.Sprintf("one-sided neighbor entry (i->j %v, j->i %v)", hasIJ, hasJI),
+				})
+				continue
+			}
+			if hasIJ && keyIJ != keyJI {
+				out = append(out, Violation{
+					Invariant: "mutual-auth", Node: i, Peer: j,
+					Detail: "session keys differ across the pair",
+				})
+			}
+		}
+		if n := net.Node(i).HalfOpenOlderThan(halfOpenBudget); n > 0 {
+			out = append(out, Violation{
+				Invariant: "half-open", Node: i, Peer: -1,
+				Detail: fmt.Sprintf("%d half-open handshake records older than %v", n, halfOpenBudget),
+			})
+		}
+	}
+	return out
+}

@@ -26,7 +26,37 @@ type Stats struct {
 	Transmissions int
 	Jammed        int
 	Delivered     int
+	// Channel-fault outcomes (zero unless a FaultInjector is configured).
+	Lost       int // frames dropped by the fault plan
+	Duplicated int // frames delivered twice
+	Delayed    int // frames delivered with extra reorder delay
 }
+
+// FaultDecision is one channel-fault verdict for a transmission that
+// survived jamming.
+type FaultDecision struct {
+	// Drop loses the frame entirely (no receiver hears it).
+	Drop bool
+	// Duplicate delivers the frame a second time, right after the first.
+	Duplicate bool
+	// Delay adds extra latency before delivery, letting later frames
+	// overtake this one (bounded reorder). Must be >= 0.
+	Delay sim.Time
+}
+
+// FaultInjector decides per-transmission channel faults. Implementations
+// must be deterministic given their RNG stream; the medium consults the
+// injector exactly once per non-jammed transmission, in engine order.
+// to is -1 for broadcasts.
+type FaultInjector interface {
+	Decide(from, to int, msg Message) FaultDecision
+}
+
+// InjectorFunc adapts a function to the FaultInjector interface.
+type InjectorFunc func(from, to int, msg Message) FaultDecision
+
+// Decide invokes the function.
+func (f InjectorFunc) Decide(from, to int, msg Message) FaultDecision { return f(from, to, msg) }
 
 // Medium is the message-level shared radio: transmissions reach all
 // physical neighbors of the sender after the frame airtime, unless the
@@ -40,6 +70,7 @@ type Medium struct {
 	chipRate float64
 	mu       float64
 	observer func(from, to int, msg Message, jammed bool)
+	faults   FaultInjector
 	handlers map[int]Handler
 	stats    Stats
 }
@@ -57,6 +88,9 @@ type MediumConfig struct {
 	// Observer, when set, is invoked synchronously for every transmission
 	// with the jam verdict (to = -1 for broadcasts). Used for tracing.
 	Observer func(from, to int, msg Message, jammed bool)
+	// Faults, when set, injects channel faults (loss, duplication, bounded
+	// reorder) into every transmission that survived jamming.
+	Faults FaultInjector
 }
 
 // NewMedium creates a medium.
@@ -83,6 +117,7 @@ func NewMedium(cfg MediumConfig) (*Medium, error) {
 		chipRate: cfg.ChipRate,
 		mu:       cfg.Mu,
 		observer: cfg.Observer,
+		faults:   cfg.Faults,
 		handlers: map[int]Handler{},
 	}, nil
 }
@@ -129,11 +164,21 @@ func (m *Medium) transmit(from, to int, msg Message) error {
 	if m.observer != nil {
 		m.observer(from, to, msg, jammed)
 	}
-	airtime := m.Airtime(msg.PayloadBits)
-	_, err := m.engine.Schedule(airtime, func() {
-		if jammed {
-			return
+	var fd FaultDecision
+	if !jammed && m.faults != nil {
+		fd = m.faults.Decide(from, to, msg)
+		switch {
+		case fd.Drop:
+			m.stats.Lost++
+		case fd.Duplicate:
+			m.stats.Duplicated++
 		}
+		if !fd.Drop && fd.Delay > 0 {
+			m.stats.Delayed++
+		}
+	}
+	airtime := m.Airtime(msg.PayloadBits)
+	deliver := func() {
 		for _, nbr := range m.adjacent(from) {
 			if to >= 0 && nbr != to {
 				continue
@@ -142,6 +187,15 @@ func (m *Medium) transmit(from, to int, msg Message) error {
 				m.stats.Delivered++
 				h(from, msg)
 			}
+		}
+	}
+	_, err := m.engine.Schedule(airtime+fd.Delay, func() {
+		if jammed || fd.Drop {
+			return
+		}
+		deliver()
+		if fd.Duplicate {
+			deliver()
 		}
 	})
 	return err

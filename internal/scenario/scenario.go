@@ -9,7 +9,9 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/faults"
 	"repro/internal/field"
+	"repro/internal/sim"
 )
 
 // Platoons scatters numPlatoons cluster centers uniformly and places
@@ -39,6 +41,31 @@ func Platoons(f field.Field, numPlatoons, perPlatoon int, radius float64, rng *r
 		}
 	}
 	return pts, nil
+}
+
+// Ambush models an attack on one squad: the perPlatoon members starting
+// at node index platoonStart are knocked out in a stagger beginning at
+// the given time, and each comes back after the outage, re-running
+// discovery shortly after — the churn schedule an ambushed platoon's
+// radios would exhibit. Use with faults.ScheduleChurn.
+func Ambush(platoonStart, perPlatoon int, at, outage, stagger sim.Time) ([]faults.ChurnEvent, error) {
+	if platoonStart < 0 || perPlatoon < 1 {
+		return nil, fmt.Errorf("scenario: ambush needs a valid platoon slice")
+	}
+	if at < 0 || outage <= 0 || stagger < 0 {
+		return nil, fmt.Errorf("scenario: ambush times must be non-negative (outage positive)")
+	}
+	plan := make([]faults.ChurnEvent, 0, perPlatoon)
+	for i := 0; i < perPlatoon; i++ {
+		crash := at + sim.Time(i)*stagger
+		plan = append(plan, faults.ChurnEvent{
+			Node:            platoonStart + i,
+			CrashAt:         crash,
+			RestartAt:       crash + outage,
+			RediscoverAfter: outage / 8,
+		})
+	}
+	return plan, nil
 }
 
 // Convoy places n nodes in a column with the given spacing, starting at

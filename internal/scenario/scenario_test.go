@@ -96,3 +96,36 @@ func TestConvoyValidation(t *testing.T) {
 		t.Fatal("accepted zero heading")
 	}
 }
+
+func TestAmbushValidation(t *testing.T) {
+	if _, err := Ambush(-1, 3, 0, 1, 0.1); err == nil {
+		t.Fatal("negative platoon start accepted")
+	}
+	if _, err := Ambush(0, 0, 0, 1, 0.1); err == nil {
+		t.Fatal("empty platoon accepted")
+	}
+	if _, err := Ambush(0, 3, 0, 0, 0.1); err == nil {
+		t.Fatal("zero outage accepted")
+	}
+}
+
+func TestAmbushSchedule(t *testing.T) {
+	plan, err := Ambush(4, 3, 0.5, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("plan has %d events, want 3", len(plan))
+	}
+	for i, e := range plan {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
+		if e.Node != 4+i {
+			t.Fatalf("event %d hits node %d, want %d", i, e.Node, 4+i)
+		}
+		if i > 0 && plan[i].CrashAt <= plan[i-1].CrashAt {
+			t.Fatalf("stagger not monotonic: %v", plan)
+		}
+	}
+}

@@ -63,6 +63,9 @@ const (
 	KindExpiry
 	KindRevocation
 	KindDrop
+	KindCrash
+	KindRestart
+	KindRetry
 )
 
 func (k Kind) String() string {
@@ -81,6 +84,12 @@ func (k Kind) String() string {
 		return "revocation"
 	case KindDrop:
 		return "drop"
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	case KindRetry:
+		return "retry"
 	default:
 		return "unknown"
 	}
