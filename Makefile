@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test tier1 race bench report chaos
+.PHONY: build test tier1 race bench report chaos fuzz vuln
 
 build:
 	$(GO) build ./...
@@ -24,6 +25,20 @@ chaos:
 
 race:
 	$(GO) test -race ./...
+
+# fuzz runs every native fuzz target (wire decoder, handshake transcript,
+# DSSS sync window) for FUZZTIME each. Out of tier1: run it before releases
+# or after touching the codec or receive paths.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzHandshakeTranscript -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz FuzzSyncWindow -fuzztime $(FUZZTIME) ./internal/dsss
+
+# vuln scans the module against the Go vulnerability database. Out of
+# tier1: needs network access and the govulncheck tool
+# (golang.org/x/vuln/cmd/govulncheck).
+vuln:
+	govulncheck ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -5,15 +5,32 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/faults"
 )
 
-// runChaos executes the full fault matrix and prints one line per cell.
+// chaosCells selects the fault matrix for the -chaos/-adversary flag pair:
+// the full 32-cell matrix by default, or just the named Byzantine
+// behavior's cells.
+func chaosCells(adversaryFlag string) ([]faults.Cell, error) {
+	if adversaryFlag == "" {
+		return faults.Matrix(), nil
+	}
+	kind, err := adversary.ParseKind(adversaryFlag)
+	if err != nil {
+		return nil, err
+	}
+	if kind == adversary.None {
+		return nil, fmt.Errorf("-adversary none is not a behavior; omit the flag for the full matrix")
+	}
+	return faults.MatrixFor(kind), nil
+}
+
+// runChaos executes the given fault matrix and prints one line per cell.
 // The returned count is the number of failed cells (invariant violations
 // plus non-deterministic replays); the caller maps it to the exit code.
-func runChaos(w io.Writer, seed int64) (int, error) {
-	cells := faults.Matrix()
-	fmt.Fprintf(w, "chaos: %d-cell fault matrix (jammer × churn × loss), seed %d\n\n", len(cells), seed)
+func runChaos(w io.Writer, seed int64, cells []faults.Cell) (int, error) {
+	fmt.Fprintf(w, "chaos: %d-cell fault matrix (jammer × churn × loss × adversary), seed %d\n\n", len(cells), seed)
 	fmt.Fprintf(w, "  %-34s %10s %8s %s\n", "cell", "discovered", "determ.", "violations")
 	start := time.Now()
 	failed := 0

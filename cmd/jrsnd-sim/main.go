@@ -40,7 +40,8 @@ func main() {
 		list    = flag.Bool("list", false, "list the available experiment ids and exit")
 		mfile   = flag.String("metrics", "", "run one instrumented protocol-engine deployment and write the metric snapshot here (.json for JSON, anything else for Prometheus text)")
 		tfile   = flag.String("trace-jsonl", "", "with an instrumented deployment, stream protocol trace events to this JSONL file")
-		chaos   = flag.Bool("chaos", false, "run the fault matrix (jammer × churn × loss) with invariant checking; exits non-zero on any violation")
+		chaos   = flag.Bool("chaos", false, "run the fault matrix (jammer × churn × loss × adversary) with invariant checking; exits non-zero on any violation")
+		adv     = flag.String("adversary", "", "with -chaos: restrict the matrix to one Byzantine behavior (replay, forge, bitflip, flood)")
 	)
 	flag.Parse()
 	if *list {
@@ -49,6 +50,10 @@ func main() {
 		}
 		return
 	}
+	if *adv != "" && !*chaos {
+		fmt.Fprintln(os.Stderr, "jrsnd-sim: -adversary requires -chaos")
+		os.Exit(2)
+	}
 	if *chaos {
 		// The chaos harness fixes its own deployment and adversaries; the
 		// experiment-selection flags cannot apply.
@@ -56,7 +61,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jrsnd-sim: -chaos cannot be combined with -point, -metrics, -trace-jsonl, -n, or -q")
 			os.Exit(2)
 		}
-		violations, err := runChaos(os.Stdout, *seed)
+		cells, err := chaosCells(*adv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
+			os.Exit(2)
+		}
+		violations, err := runChaos(os.Stdout, *seed, cells)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
 			os.Exit(1)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -154,15 +155,46 @@ func TestRunChaosMatrixPasses(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos matrix in -short mode")
 	}
+	cells, err := chaosCells("")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sb strings.Builder
-	failed, err := runChaos(&sb, 1)
+	failed, err := runChaos(&sb, 1, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if failed != 0 {
 		t.Fatalf("chaos matrix failed %d cells:\n%s", failed, sb.String())
 	}
-	if !strings.Contains(sb.String(), "16/16 cells passed") {
-		t.Fatalf("unexpected chaos summary:\n%s", sb.String())
+	want := fmt.Sprintf("%d/%d cells passed", len(cells), len(cells))
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("summary missing %q:\n%s", want, sb.String())
+	}
+}
+
+func TestChaosCellsAdversarySelection(t *testing.T) {
+	for _, bad := range []string{"none", "martian"} {
+		if _, err := chaosCells(bad); err == nil {
+			t.Fatalf("-adversary %s accepted", bad)
+		}
+	}
+	full, err := chaosCells("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"replay", "forge", "bitflip", "flood"} {
+		cells, err := chaosCells(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cells) == 0 || len(cells) >= len(full) {
+			t.Fatalf("-adversary %s selected %d of %d cells", kind, len(cells), len(full))
+		}
+		for _, c := range cells {
+			if c.Adversary.String() != kind {
+				t.Fatalf("cell %q leaked into the %s selection", c.Name, kind)
+			}
+		}
 	}
 }

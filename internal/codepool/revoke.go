@@ -1,6 +1,9 @@
 package codepool
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Revoker implements the local revocation defence of §V-D: each node keeps
 // a counter per spread code it holds; every invalid neighbor-discovery
@@ -10,7 +13,13 @@ import "fmt"
 // ignored. A compromised code can therefore be used against each of its
 // l−1 other holders at most γ times, bounding the DoS verification load to
 // (l−1)·γ per compromised code.
+//
+// The table is safe for concurrent use: a real receiver reports invalid
+// requests from its demodulation path while other goroutines consult
+// Revoked before transmitting, and a racing pair of reports must agree on
+// which one crossed the threshold.
 type Revoker struct {
+	mu       sync.Mutex
 	gamma    int
 	counters map[CodeID]int
 	revoked  map[CodeID]bool
@@ -32,8 +41,11 @@ func NewRevoker(gamma int) (*Revoker, error) {
 func (r *Revoker) Gamma() int { return r.gamma }
 
 // ReportInvalid records one invalid request received under code c and
-// reports whether this report crossed the revocation threshold.
+// reports whether this report crossed the revocation threshold. Exactly
+// one of any set of concurrent reports observes revokedNow == true.
 func (r *Revoker) ReportInvalid(c CodeID) (revokedNow bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.revoked[c] {
 		return false
 	}
@@ -46,10 +58,22 @@ func (r *Revoker) ReportInvalid(c CodeID) (revokedNow bool) {
 }
 
 // Revoked reports whether c has been locally revoked.
-func (r *Revoker) Revoked(c CodeID) bool { return r.revoked[c] }
+func (r *Revoker) Revoked(c CodeID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.revoked[c]
+}
 
 // Count returns the current invalid-request count for c.
-func (r *Revoker) Count(c CodeID) int { return r.counters[c] }
+func (r *Revoker) Count(c CodeID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[c]
+}
 
 // RevokedCodes returns the number of locally revoked codes.
-func (r *Revoker) RevokedCodes() int { return len(r.revoked) }
+func (r *Revoker) RevokedCodes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.revoked)
+}

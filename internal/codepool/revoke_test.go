@@ -1,0 +1,82 @@
+package codepool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRevokerConcurrentReportInvalid hammers one code from many goroutines
+// (run under -race): the counters must neither tear nor double-fire — of
+// all concurrent reports, exactly one crosses the threshold.
+func TestRevokerConcurrentReportInvalid(t *testing.T) {
+	const (
+		gamma      = 5
+		goroutines = 16
+		reports    = 50
+	)
+	r, err := NewRevoker(gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crossed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reports; i++ {
+				if r.ReportInvalid(7) {
+					crossed.Add(1)
+				}
+				_ = r.Revoked(7)
+				_ = r.Count(7)
+				_ = r.RevokedCodes()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := crossed.Load(); got != 1 {
+		t.Fatalf("revocation threshold crossed %d times, want exactly 1", got)
+	}
+	if !r.Revoked(7) {
+		t.Fatal("code not revoked after the threshold was crossed")
+	}
+	if got := r.Count(7); got != gamma+1 {
+		t.Fatalf("count = %d after revocation, want frozen at γ+1 = %d", got, gamma+1)
+	}
+	if r.RevokedCodes() != 1 {
+		t.Fatalf("RevokedCodes = %d, want 1", r.RevokedCodes())
+	}
+}
+
+// TestRevokerConcurrentDisjointCodes checks independent codes do not
+// serialize into each other's state under concurrency.
+func TestRevokerConcurrentDisjointCodes(t *testing.T) {
+	r, err := NewRevoker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := CodeID(0); c < 8; c++ {
+		wg.Add(1)
+		go func(c CodeID) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				r.ReportInvalid(c)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := CodeID(0); c < 8; c++ {
+		if !r.Revoked(c) {
+			t.Fatalf("code %d not revoked", c)
+		}
+		if got := r.Count(c); got != 3 {
+			t.Fatalf("code %d count = %d, want 3", c, got)
+		}
+	}
+	if r.RevokedCodes() != 8 {
+		t.Fatalf("RevokedCodes = %d, want 8", r.RevokedCodes())
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// ArmAdversary compromises node idx and plugs the given Byzantine
+// behavior into the medium as an on-air interceptor (composing with the
+// jammer and any channel FaultInjector). The behavior's profile is
+// derived from the network: codec limits from Params, the replay delay
+// from the session timeout (so replays land on reaped handshake state),
+// and flood targets from idx's compromised codes × its physical neighbors
+// holding them — the same targeting RunDoSAttack uses. The returned
+// Byzantine exposes activity counters for assertions.
+func (n *Network) ArmAdversary(idx int, kind adversary.Kind) (adversary.Byzantine, error) {
+	if idx < 0 || idx >= len(n.nodes) {
+		return nil, fmt.Errorf("core: adversary index %d out of range", idx)
+	}
+	if kind == adversary.None {
+		return nil, fmt.Errorf("core: adversary kind none cannot be armed")
+	}
+	if err := n.Compromise([]int{idx}); err != nil {
+		return nil, err
+	}
+	att := n.nodes[idx]
+	p := n.params
+
+	// Replays must outlive the half-open GC to probe the replay window:
+	// 1.5× the session timeout lands after the responder reap fires.
+	retry := n.cfg.Retry
+	if retry == nil {
+		retry = DefaultRetryConfig(p)
+	}
+	replayDelay := retry.SessionTimeout * 3 / 2
+
+	var targets []adversary.FloodTarget
+	for _, c := range att.codes {
+		for _, victim := range n.graph.Adj[idx] {
+			vn := n.nodes[victim]
+			if vn.compromised || !vn.codeSet[c] {
+				continue
+			}
+			targets = append(targets, adversary.FloodTarget{Victim: victim, Code: c})
+		}
+	}
+
+	b, err := adversary.New(kind, adversary.Profile{
+		Node:          idx,
+		Rng:           n.streams.Get("adversary"),
+		Engine:        n.engine,
+		Tx:            n.medium,
+		Limits:        n.limits,
+		ReplayDelay:   replayDelay,
+		NonceBytes:    (p.LenNonce + 7) / 8,
+		MACBytes:      (p.LenMAC + 7) / 8,
+		AuthBits:      p.LenID + p.LenNonce + p.LenMAC,
+		FloodTargets:  targets,
+		FloodInterval: sim.Time(p.TKey),
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.medium.SetInterceptor(b)
+	if err := b.Launch(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -80,7 +80,7 @@ func (nd *Node) initiateDNDP() {
 			if nd.down {
 				return
 			}
-			_ = nd.net.medium.Broadcast(nd.index, radio.Message{
+			_ = nd.net.send(nd.index, -1, radio.Message{
 				Kind:        kindHello,
 				Code:        c,
 				PayloadBits: helloBits,
@@ -92,7 +92,7 @@ func (nd *Node) initiateDNDP() {
 
 // onHello is the responder path: collect HELLO copies per initiator, then
 // CONFIRM on every shared code after the processing delay.
-func (nd *Node) onHello(msg radio.Message) {
+func (nd *Node) onHello(from int, msg radio.Message) {
 	p, ok := msg.Payload.(helloPayload)
 	if !ok || p.Initiator == nd.id {
 		return
@@ -115,6 +115,9 @@ func (nd *Node) onHello(msg radio.Message) {
 	}
 	rs := nd.responders[p.Initiator]
 	if rs == nil {
+		if !nd.admitHalfOpen(from) {
+			return // transmitter exceeded its half-open budget
+		}
 		rs = &dndpResponderState{
 			helloSeen:  map[codepool.CodeID]bool{},
 			auth2Codes: map[codepool.CodeID]bool{},
@@ -168,7 +171,7 @@ func (nd *Node) sendConfirm(initiator ibc.NodeID) {
 		if nd.revoker.Revoked(c) {
 			continue
 		}
-		_ = nd.net.medium.Broadcast(nd.index, radio.Message{
+		_ = nd.net.send(nd.index, -1, radio.Message{
 			Kind:        kindConfirm,
 			Code:        c,
 			PayloadBits: p.LenType + p.LenID,
@@ -243,7 +246,7 @@ func (nd *Node) sendAuth1(responder ibc.NodeID) {
 	mac := ibc.MAC(peer.key, p.LenMAC/8, idBytes(nd.id), st.nonce)
 	bits := p.LenID + p.LenNonce + p.LenMAC
 	for _, c := range peer.confirmCodes {
-		_ = nd.net.medium.Broadcast(nd.index, radio.Message{
+		_ = nd.net.send(nd.index, -1, radio.Message{
 			Kind:        kindAuth1,
 			Code:        c,
 			PayloadBits: bits,
@@ -262,7 +265,7 @@ func (nd *Node) sendAuth1(responder ibc.NodeID) {
 // second authentication message on the same code. Invalid MACs feed the
 // §V-D revocation counters — this is the DoS-attack work the adversary can
 // force with compromised codes.
-func (nd *Node) onAuth1(msg radio.Message) {
+func (nd *Node) onAuth1(from int, msg radio.Message) {
 	p, ok := msg.Payload.(authPayload)
 	if !ok || p.Peer != nd.id || p.Sender == nd.id {
 		return
@@ -272,8 +275,18 @@ func (nd *Node) onAuth1(msg radio.Message) {
 	}
 	rs := nd.responders[p.Sender]
 	if rs == nil {
-		// Unsolicited AUTH1 (possible DoS injection): the node still has
-		// to do the expensive verification to find out.
+		// Unsolicited AUTH1: either a replayed recording of a real
+		// handshake (the replay window catches known-good nonces before
+		// any expensive work) or a DoS injection (the half-open budget
+		// caps how fast one radio can force fresh records). Copies that
+		// arrive while a record exists ride the x-sub-session redundancy
+		// path below and are exempt from both checks.
+		if nd.replaySeen(p.Sender, p.Nonce) {
+			return
+		}
+		if !nd.admitHalfOpen(from) {
+			return
+		}
 		rs = &dndpResponderState{
 			helloSeen:  map[codepool.CodeID]bool{},
 			auth2Codes: map[codepool.CodeID]bool{},
@@ -311,6 +324,10 @@ func (nd *Node) verifyAuth1(sender ibc.NodeID, p authPayload, code codepool.Code
 		nd.reportInvalid(code)
 		return
 	}
+	// The MAC checks out: remember the nonce so a recording of this frame
+	// reinjected later (after this handshake record is reaped) is
+	// recognized as a replay instead of re-opening the handshake.
+	nd.recordNonce(sender, p.Nonce)
 	if rs.nonce == nil {
 		rs.nonce = nd.newNonce()
 	}
@@ -324,7 +341,7 @@ func (nd *Node) verifyAuth1(sender ibc.NodeID, p authPayload, code codepool.Code
 	rs.auth2Codes[code] = true
 	params := nd.net.params
 	mac := ibc.MAC(rs.key, params.LenMAC/8, idBytes(nd.id), rs.nonce)
-	_ = nd.net.medium.Broadcast(nd.index, radio.Message{
+	_ = nd.net.send(nd.index, -1, radio.Message{
 		Kind:        kindAuth2,
 		Code:        code,
 		PayloadBits: params.LenID + params.LenNonce + params.LenMAC,

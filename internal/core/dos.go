@@ -14,7 +14,9 @@ import (
 // at most γ verifications per victim before the victim locally revokes it,
 // i.e. (l−1)·γ verifications network-wide per code.
 
-// DoSReport aggregates the verification work the attack forced.
+// DoSReport aggregates the verification work the attack forced. Injected
+// counts frames the attacker actually put on the air — waves scheduled
+// after the attacker crashed (churn) do not transmit and are not counted.
 type DoSReport struct {
 	Injected         int
 	KeyComputations  int
@@ -65,7 +67,14 @@ func (n *Network) RunDoSAttack(attacker int, rounds int) (DoSReport, error) {
 				}
 				nonce := att.newNonce()
 				n.engine.MustSchedule(at, func() {
-					_ = n.medium.Unicast(attacker, victim, radio.Message{
+					// A crashed attacker radio transmits nothing: waves
+					// scheduled past a mid-attack churn crash must not
+					// count as injected work.
+					if att.down {
+						return
+					}
+					injected++
+					_ = n.send(attacker, victim, radio.Message{
 						Kind:        kindAuth1,
 						Code:        c,
 						PayloadBits: bits,
@@ -77,7 +86,6 @@ func (n *Network) RunDoSAttack(attacker int, rounds int) (DoSReport, error) {
 						},
 					})
 				})
-				injected++
 			}
 		}
 	}

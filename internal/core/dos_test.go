@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"repro/internal/sim"
 )
 
 // dosNetwork builds a cluster where node `attackerIdx` is compromised.
@@ -104,6 +106,35 @@ func TestDoSRevokedCodesStayUsableForOthers(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("DoS attack plus revocation wiped out all honest discovery")
+	}
+}
+
+func TestDoSAttackerCrashMidWaveStopsInjecting(t *testing.T) {
+	// Churn meets DoS: crash the attacker between waves. Waves scheduled
+	// past the crash must transmit nothing, and the report must account
+	// only frames that actually hit the air.
+	const rounds = 4
+	net := dosNetwork(t, 4, 5, 4, 1000, 25)
+	p := net.Params()
+	// Waves fire at 0, t_key, 2·t_key, 3·t_key; crash at 1.5·t_key, so
+	// exactly the first two waves transmit.
+	if _, err := net.Engine().Schedule(sim.Time(1.5*p.TKey), func() {
+		_ = net.CrashNode(3)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := net.RunDoSAttack(3, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWave := len(net.Node(3).codes) * 3 // every victim holds every code here
+	if want := 2 * perWave; report.Injected != want {
+		t.Fatalf("injected = %d after mid-attack crash, want %d (2 of %d waves)",
+			report.Injected, want, rounds)
+	}
+	if report.MACVerifications != report.Injected {
+		t.Fatalf("MAC verifications = %d, want %d: victims must only pay for frames on the air",
+			report.MACVerifications, report.Injected)
 	}
 }
 

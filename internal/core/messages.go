@@ -6,19 +6,21 @@
 package core
 
 import (
-	"repro/internal/ibc"
+	"repro/internal/wire"
 )
 
-// Message kinds on the medium.
+// Message kinds on the medium. internal/wire owns the numbering — the
+// frame codec and the protocol engine must agree byte-for-byte — so these
+// are aliases of the wire constants.
 const (
-	kindHello = iota + 1
-	kindConfirm
-	kindAuth1
-	kindAuth2
-	kindMNDPRequest
-	kindMNDPResponse
-	kindSessionHello
-	kindSessionConfirm
+	kindHello          = wire.KindHello
+	kindConfirm        = wire.KindConfirm
+	kindAuth1          = wire.KindAuth1
+	kindAuth2          = wire.KindAuth2
+	kindMNDPRequest    = wire.KindMNDPRequest
+	kindMNDPResponse   = wire.KindMNDPResponse
+	kindSessionHello   = wire.KindSessionHello
+	kindSessionConfirm = wire.KindSessionConfirm
 )
 
 // Exported message-kind aliases, so fault plans and tooling outside the
@@ -35,69 +37,40 @@ const (
 	KindSessionConfirm = kindSessionConfirm
 )
 
-// helloPayload is the D-NDP HELLO: {HELLO, ID_A} spread with one of A's
-// pool codes.
-type helloPayload struct {
-	Initiator ibc.NodeID
-}
+// The protocol payloads are the wire package's canonical message types:
+// every in-sim delivery is encoded to a bounded binary frame and decoded
+// at the receiver, so the structs handlers see are exactly what survives
+// a round trip through hostile bytes.
+type (
+	// helloPayload is the D-NDP HELLO: {HELLO, ID_A} spread with one of
+	// A's pool codes.
+	helloPayload = wire.Hello
+	// confirmPayload is the D-NDP CONFIRM: {CONFIRM, ID_B} spread with a
+	// code shared with the initiator.
+	confirmPayload = wire.Confirm
+	// authPayload carries the two mutual-authentication messages:
+	// {ID, n, f_K(ID|n)}.
+	authPayload = wire.Auth
+	// mndpHop is one signed hop record appended to an M-NDP request or
+	// response: the node's ID, its logical-neighbor list, and its
+	// signature over the request so far.
+	mndpHop = wire.Hop
+	// mndpRequest is the M-NDP request of §V-C. Hops[0] is the origin;
+	// each forwarder appends itself. Nu bounds the total hops the request
+	// may traverse.
+	mndpRequest = wire.MNDPRequest
+	// mndpResponse travels back along the request path from the responder
+	// to the origin. Path[0] is the responder; intermediate nodes append
+	// themselves. ReturnRoute holds the remaining relay IDs toward the
+	// origin, innermost next hop last.
+	mndpResponse = wire.MNDPResponse
+	// sessionPayload completes M-NDP: HELLO/CONFIRM spread with the
+	// derived session code C_BA.
+	sessionPayload = wire.Session
+)
 
-// confirmPayload is the D-NDP CONFIRM: {CONFIRM, ID_B} spread with a code
-// shared with the initiator.
-type confirmPayload struct {
-	Responder ibc.NodeID
-	Initiator ibc.NodeID
-}
-
-// authPayload carries the two mutual-authentication messages:
-// {ID, n, f_K(ID|n)}.
-type authPayload struct {
-	Sender ibc.NodeID
-	Peer   ibc.NodeID
-	Nonce  []byte
-	MAC    []byte
-}
-
-// mndpHop is one signed hop record appended to an M-NDP request or
-// response: the node's ID, its logical-neighbor list, and its signature
-// over the request so far.
-type mndpHop struct {
-	ID        ibc.NodeID
-	Neighbors []ibc.NodeID
-	Sig       ibc.Signature
-}
-
-// mndpRequest is the M-NDP request of §V-C. Hops[0] is the origin; each
-// forwarder appends itself. Nu bounds the total hops the request may
-// traverse.
-type mndpRequest struct {
-	Nonce []byte
-	Nu    int
-	Hops  []mndpHop
-	// OriginPos carries the origin's claimed position for the optional
-	// GPS false-positive filter (§V-C last paragraph). Units: meters.
-	OriginPosX, OriginPosY float64
-	HasOriginPos           bool
-}
-
-// mndpResponse travels back along the request path from the responder to
-// the origin. Path[0] is the responder; intermediate nodes append
-// themselves. ReturnRoute holds the remaining relay IDs toward the origin,
-// innermost next hop last.
-type mndpResponse struct {
-	Origin      ibc.NodeID
-	Nonce       []byte // responder's nonce n_B
-	OriginNonce []byte // echoed origin nonce n_A
-	Nu          int
-	Path        []mndpHop
-	ReturnRoute []ibc.NodeID
-}
-
-// sessionPayload completes M-NDP: HELLO/CONFIRM spread with the derived
-// session code C_BA.
-type sessionPayload struct {
-	Sender ibc.NodeID
-	Peer   ibc.NodeID
-}
+// messageKindName names protocol message kinds for traces.
+func messageKindName(kind int) string { return wire.KindName(kind) }
 
 // bitsOfNeighborList returns the airtime size in bits of a neighbor list.
 func bitsOfNeighborList(count, lenID int) int { return count * lenID }

@@ -34,6 +34,12 @@ type coreMetrics struct {
 	crashes        *metrics.Counter
 	restarts       *metrics.Counter
 	silentExpiries *metrics.Counter
+
+	// Byzantine-defense instruments: the wire codec and the replay/DoS
+	// defenses.
+	decodeErrors   *metrics.Counter
+	replaysDropped *metrics.Counter
+	ratelimited    *metrics.Counter
 }
 
 // messageKinds lists every protocol message kind, for per-kind counters.
@@ -89,6 +95,12 @@ func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
 			"node restarts after churn crashes"),
 		silentExpiries: reg.Counter("jrsnd_core_silent_expiries_total",
 			"one-sided sessions dropped by the inactivity monitor timeout"),
+		decodeErrors: reg.Counter("jrsnd_core_decode_errors_total",
+			"received frames rejected by the wire codec (truncated, oversized, or malformed)"),
+		replaysDropped: reg.Counter("jrsnd_core_replays_dropped_total",
+			"valid-looking AUTH frames dropped by the per-peer replay window"),
+		ratelimited: reg.Counter("jrsnd_core_ratelimited_total",
+			"handshake-record creations refused by the per-transmitter half-open budget"),
 	}
 	for _, k := range messageKinds {
 		label := fmt.Sprintf("{kind=%q}", messageKindName(k))
@@ -154,4 +166,29 @@ func (m *coreMetrics) onHalfOpenGC() {
 		return
 	}
 	m.halfOpenGC.Inc()
+}
+
+// onDecodeError records one frame the wire codec rejected.
+func (m *coreMetrics) onDecodeError() {
+	if m == nil {
+		return
+	}
+	m.decodeErrors.Inc()
+}
+
+// onReplayDropped records one AUTH frame dropped by the replay window.
+func (m *coreMetrics) onReplayDropped() {
+	if m == nil {
+		return
+	}
+	m.replaysDropped.Inc()
+}
+
+// onRateLimited records one handshake record refused by the half-open
+// budget.
+func (m *coreMetrics) onRateLimited() {
+	if m == nil {
+		return
+	}
+	m.ratelimited.Inc()
 }

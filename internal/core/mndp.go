@@ -164,7 +164,7 @@ func (nd *Node) forwardRequest(req mndpRequest) {
 			continue
 		}
 		targets++
-		_ = nd.net.medium.Unicast(nd.index, int(id), radio.Message{
+		_ = nd.net.send(nd.index, int(id), radio.Message{
 			Kind:        kindMNDPRequest,
 			Code:        radio.SessionCode,
 			PayloadBits: bits,
@@ -285,7 +285,7 @@ func (nd *Node) respondToRequest(req mndpRequest) {
 			next = int(resp.ReturnRoute[0])
 			resp.ReturnRoute = resp.ReturnRoute[1:]
 		}
-		_ = nd.net.medium.Unicast(nd.index, next, radio.Message{
+		_ = nd.net.send(nd.index, next, radio.Message{
 			Kind:        kindMNDPResponse,
 			Code:        radio.SessionCode,
 			PayloadBits: nd.responseBits(resp),
@@ -319,7 +319,7 @@ func (nd *Node) beaconSessionHello(origin ibc.NodeID) {
 			if _, pending := nd.mndpIn[origin]; !pending {
 				return // already confirmed (or reaped by the session timeout)
 			}
-			_ = nd.net.medium.Broadcast(nd.index, radio.Message{
+			_ = nd.net.send(nd.index, -1, radio.Message{
 				Kind:        kindSessionHello,
 				Code:        radio.SessionCode,
 				PayloadBits: p.LenType + p.LenID,
@@ -379,7 +379,7 @@ func (nd *Node) processResponse(resp mndpResponse) {
 				return
 			}
 			fwd.Path[len(fwd.Path)-1].Sig = nd.priv.Sign(encodeResponse(fwd, len(fwd.Path)-1))
-			_ = nd.net.medium.Unicast(nd.index, next, radio.Message{
+			_ = nd.net.send(nd.index, next, radio.Message{
 				Kind:        kindMNDPResponse,
 				Code:        radio.SessionCode,
 				PayloadBits: nd.responseBits(fwd),
@@ -436,7 +436,7 @@ func (nd *Node) onSessionHello(from int, msg radio.Message) {
 		delete(nd.mndpOut, p.Sender)
 	}
 	params := nd.net.params
-	_ = nd.net.medium.Unicast(nd.index, from, radio.Message{
+	_ = nd.net.send(nd.index, from, radio.Message{
 		Kind:        kindSessionConfirm,
 		Code:        radio.SessionCode,
 		PayloadBits: params.LenType + params.LenID,

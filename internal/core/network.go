@@ -12,31 +12,8 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
-
-// messageKindName names protocol message kinds for traces.
-func messageKindName(kind int) string {
-	switch kind {
-	case kindHello:
-		return "HELLO"
-	case kindConfirm:
-		return "CONFIRM"
-	case kindAuth1:
-		return "AUTH1"
-	case kindAuth2:
-		return "AUTH2"
-	case kindMNDPRequest:
-		return "MNDP-REQ"
-	case kindMNDPResponse:
-		return "MNDP-RESP"
-	case kindSessionHello:
-		return "SESS-HELLO"
-	case kindSessionConfirm:
-		return "SESS-CONFIRM"
-	default:
-		return "UNKNOWN"
-	}
-}
 
 // JammerKind selects the adversary model of §IV-B.
 type JammerKind int
@@ -127,6 +104,11 @@ type NetworkConfig struct {
 	// Faults injects channel faults (loss, duplication, bounded reorder)
 	// into the medium; see internal/faults for seed-driven plans.
 	Faults radio.FaultInjector
+	// Defense enables the Byzantine-input defenses: the per-peer replay
+	// window over verified AUTH nonces and the per-transmitter half-open
+	// rate limiter. Nil keeps the seed engine's behavior; see
+	// DefaultDefenseConfig.
+	Defense *DefenseConfig
 	// PulseDuty is the JamPulse on-fraction in (0, 1]; 0 defaults to 0.5.
 	PulseDuty float64
 	// SweepWindow is the number of codes JamSweep targets at once;
@@ -167,6 +149,7 @@ type Network struct {
 	jammer    radio.Jammer
 	sink      trace.Sink   // normalized from cfg.Trace; nil when tracing is off
 	m         *coreMetrics // nil when cfg.Metrics is nil
+	limits    wire.Limits  // frame codec caps, derived from Params
 
 	compromisedCodes *codepool.CodeSet
 	compromisedNodes map[int]bool
@@ -189,6 +172,9 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		return nil, fmt.Errorf("core: n=%d exceeds the 16-bit ID space", p.N)
 	}
 	if err := cfg.Retry.validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := cfg.Defense.validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if cfg.ClockSkewSpread < 0 || cfg.ClockSkewSpread >= 1 {
@@ -279,6 +265,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		accepted:         map[[2]ibc.NodeID]sim.Time{},
 		pairLive:         map[[2]ibc.NodeID]bool{},
 		initTime:         map[ibc.NodeID]sim.Time{},
+		limits:           wire.LimitsFromParams(p),
 	}
 	n.sink = trace.Multi(cfg.Trace) // normalizes typed-nil recorders to nil
 	n.m = newCoreMetrics(cfg.Metrics)
@@ -368,6 +355,8 @@ func (n *Network) newNode(idx int, keyRng *rand.Rand) (*Node, error) {
 		mndpIn:       map[ibc.NodeID]*mndpPending{},
 		mndpStart:    map[ibc.NodeID]sim.Time{},
 		skew:         skew,
+		seenNonces:   map[ibc.NodeID]*nonceWindow{},
+		buckets:      map[int]*tokenBucket{},
 	}, nil
 }
 
@@ -530,6 +519,7 @@ func (n *Network) CrashNode(i int) error {
 	nd.mndpStart = map[ibc.NodeID]sim.Time{}
 	nd.dndpAttempts = 0
 	nd.mndpFallback = false
+	nd.resetDefenses()
 	delete(n.initTime, nd.id)
 	if n.m != nil {
 		n.m.crashes.Inc()
@@ -824,18 +814,56 @@ func (n *Network) RunMNDP(window sim.Time) error {
 	return n.engine.Run()
 }
 
-// handle dispatches a received message to the protocol handlers.
+// send is the single egress path of the protocol engine: it encodes the
+// typed payload into a canonical wire frame and puts the frame on the
+// medium (to == -1 broadcasts). Everything a receiver sees is bytes — an
+// on-air interceptor can corrupt, record, or replay them, and the
+// receiver's decoder is the only thing standing between those bytes and
+// protocol state.
+func (n *Network) send(from, to int, msg radio.Message) error {
+	frame, err := wire.Encode(msg.Kind, msg.Payload, n.limits)
+	if err != nil {
+		return fmt.Errorf("core: encode %s: %w", messageKindName(msg.Kind), err)
+	}
+	msg.Payload = frame
+	if to < 0 {
+		return n.medium.Broadcast(from, msg)
+	}
+	return n.medium.Unicast(from, to, msg)
+}
+
+// handle is the single ingress path: decode the delivered frame under the
+// derived limits, then dispatch on the *decoded* kind — a corrupted kind
+// byte or payload is a decode error, not a misrouted struct. Rejected
+// frames are counted (`decode_errors`) and traced, never processed.
 func (nd *Node) handle(from int, msg radio.Message) {
 	if nd.compromised || nd.down {
 		return // compromised nodes do not run the honest protocol; crashed radios are off
 	}
-	switch msg.Kind {
+	frame, ok := msg.Payload.([]byte)
+	if !ok {
+		return // not a wire frame; nothing the engine can parse
+	}
+	kind, payload, err := wire.Decode(frame, nd.net.limits)
+	if err != nil {
+		nd.net.m.onDecodeError()
+		nd.net.emit(trace.Event{
+			At:     float64(nd.net.engine.Now()),
+			Kind:   trace.KindDrop,
+			Node:   nd.index,
+			Peer:   from,
+			Detail: fmt.Sprintf("frame rejected by decoder: %v", err),
+		})
+		return
+	}
+	msg.Payload = payload
+	switch kind {
 	case kindHello:
-		nd.onHello(msg)
+		nd.onHello(from, msg)
 	case kindConfirm:
 		nd.onConfirm(msg)
 	case kindAuth1:
-		nd.onAuth1(msg)
+		nd.onAuth1(from, msg)
 	case kindAuth2:
 		nd.onAuth2(msg)
 	case kindMNDPRequest:

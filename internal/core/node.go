@@ -115,6 +115,10 @@ type Node struct {
 	dndpAttempts int  // D-NDP initiations so far (budget accounting)
 	mndpFallback bool // already degraded to M-NDP once
 
+	// Byzantine defenses (active when NetworkConfig.Defense is set).
+	seenNonces map[ibc.NodeID]*nonceWindow // verified AUTH nonces per peer
+	buckets    map[int]*tokenBucket        // half-open budget per transmitter
+
 	stats NodeStats
 
 	compromised bool

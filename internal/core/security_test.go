@@ -33,10 +33,13 @@ func securityNet(t *testing.T, seed int64) *Network {
 	return net
 }
 
-// inject delivers a raw message from `from` and drains the engine.
+// inject wire-encodes and delivers a message from `from` and drains the
+// engine — the same egress path honest nodes use, so the forgery reaches
+// the victim as a well-formed frame and exercises the handlers, not the
+// decoder.
 func inject(t *testing.T, net *Network, from, to int, msg radio.Message) {
 	t.Helper()
-	if err := net.medium.Unicast(from, to, msg); err != nil {
+	if err := net.send(from, to, msg); err != nil {
 		t.Fatal(err)
 	}
 	if err := net.engine.Run(); err != nil {

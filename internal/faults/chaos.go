@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/adversary"
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/field"
@@ -12,10 +13,10 @@ import (
 )
 
 // Chaos harness: a fault matrix of jammer model × node churn × channel
-// loss, each cell running a full hardened deployment to quiescence,
-// applying the monitor timeouts, and checking the protocol invariants.
-// Every cell runs twice under the same seed; diverging outcomes fail the
-// determinism invariant.
+// loss × Byzantine adversary, each cell running a full hardened deployment
+// to quiescence, applying the monitor timeouts, and checking the protocol
+// invariants. Every cell runs twice under the same seed; diverging
+// outcomes fail the determinism invariant.
 
 // Cell is one fault-matrix configuration.
 type Cell struct {
@@ -26,6 +27,9 @@ type Cell struct {
 	// with duplication and reorder at half that rate. 0 disables channel
 	// faults.
 	Loss float64
+	// Adversary arms a Byzantine behavior (replay, forge, bitflip, flood)
+	// on one compromised node; None runs jamming/churn/loss only.
+	Adversary adversary.Kind
 }
 
 // CellResult is the outcome of one chaos cell.
@@ -45,8 +49,9 @@ func (r CellResult) Passed() bool {
 	return len(r.Violations) == 0 && r.Deterministic
 }
 
-// Matrix returns the default fault matrix: 4 jammers × churn on/off ×
-// loss on/off = 16 cells.
+// Matrix returns the full fault matrix: the 16 base cells (4 jammers ×
+// churn on/off × loss on/off) plus 16 adversary cells (4 Byzantine
+// behaviors × {no jamming, intelligent jamming} × churn on/off, loss 0).
 func Matrix() []Cell {
 	jammers := []core.JammerKind{core.JamNone, core.JamPulse, core.JamSweep, core.JamIntelligent}
 	var cells []Cell
@@ -58,7 +63,33 @@ func Matrix() []Cell {
 			}
 		}
 	}
+	return append(cells, adversaryCells()...)
+}
+
+// adversaryCells builds the Byzantine extension of the matrix.
+func adversaryCells() []Cell {
+	var cells []Cell
+	for _, kind := range adversary.Kinds {
+		for _, jam := range []core.JammerKind{core.JamNone, core.JamIntelligent} {
+			for _, churn := range []bool{false, true} {
+				name := fmt.Sprintf("adv=%s/jam=%s/churn=%t", kind, jam, churn)
+				cells = append(cells, Cell{Name: name, Jammer: jam, Churn: churn, Adversary: kind})
+			}
+		}
+	}
 	return cells
+}
+
+// MatrixFor restricts the matrix to one Byzantine behavior's cells;
+// adversary.None selects the 16 base (non-Byzantine) cells.
+func MatrixFor(kind adversary.Kind) []Cell {
+	var out []Cell
+	for _, cell := range Matrix() {
+		if cell.Adversary == kind {
+			out = append(out, cell)
+		}
+	}
+	return out
 }
 
 // chaosParams is the deployment every cell runs: a 12-node cluster with a
@@ -131,6 +162,7 @@ func runCellOnce(cell Cell, seed int64) (CellResult, string, error) {
 		Positions:       chaosPositions(p.N),
 		Faults:          injector,
 		Retry:           retry,
+		Defense:         core.DefaultDefenseConfig(p),
 		ClockSkewSpread: 0.05,
 	})
 	if err != nil {
@@ -139,6 +171,13 @@ func runCellOnce(cell Cell, seed int64) (CellResult, string, error) {
 	compromised, err := net.CompromiseRandom(2)
 	if err != nil {
 		return CellResult{}, "", err
+	}
+	if cell.Adversary != adversary.None {
+		// One of the compromised nodes turns Byzantine: it keeps its codes
+		// and radio but records/forges/corrupts/floods instead of jamming.
+		if _, err := net.ArmAdversary(compromised[0], cell.Adversary); err != nil {
+			return CellResult{}, "", err
+		}
 	}
 
 	if cell.Churn {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/radio"
 )
@@ -225,6 +226,41 @@ func TestHalfOpenInvariantFlagsSeedLeak(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("seed half-open leak not flagged")
+	}
+}
+
+// TestMatrixShape checks the matrix composition: 16 base cells plus 4
+// cells per Byzantine behavior, unique names, and a working filter.
+func TestMatrixShape(t *testing.T) {
+	cells := Matrix()
+	if len(cells) != 32 {
+		t.Fatalf("matrix has %d cells, want 32", len(cells))
+	}
+	names := map[string]bool{}
+	perKind := map[adversary.Kind]int{}
+	for _, c := range cells {
+		if names[c.Name] {
+			t.Fatalf("duplicate cell name %q", c.Name)
+		}
+		names[c.Name] = true
+		perKind[c.Adversary]++
+		if c.Adversary != adversary.None && c.Loss != 0 {
+			t.Fatalf("adversary cell %q mixes channel loss in", c.Name)
+		}
+	}
+	if perKind[adversary.None] != 16 {
+		t.Fatalf("%d base cells, want 16", perKind[adversary.None])
+	}
+	for _, k := range adversary.Kinds {
+		if perKind[k] != 4 {
+			t.Fatalf("%d cells for adversary %s, want 4", perKind[k], k)
+		}
+		if got := MatrixFor(k); len(got) != 4 {
+			t.Fatalf("MatrixFor(%s) returned %d cells, want 4", k, len(got))
+		}
+	}
+	if got := MatrixFor(adversary.None); len(got) != 16 {
+		t.Fatalf("MatrixFor(none) returned %d cells, want 16", len(got))
 	}
 }
 

@@ -58,6 +58,23 @@ type InjectorFunc func(from, to int, msg Message) FaultDecision
 // Decide invokes the function.
 func (f InjectorFunc) Decide(from, to int, msg Message) FaultDecision { return f(from, to, msg) }
 
+// Interceptor sits on the air between transmitter and receivers: it sees
+// every transmission that survived jamming and returns the message that is
+// actually delivered — possibly with a mutated payload (Byzantine frame
+// corruption), and possibly after recording it for later reinjection. It
+// runs before the FaultInjector, so channel faults apply to the mutated
+// frame. Implementations must be deterministic given their RNG stream.
+// to is -1 for broadcasts.
+type Interceptor interface {
+	Intercept(from, to int, msg Message) Message
+}
+
+// InterceptorFunc adapts a function to the Interceptor interface.
+type InterceptorFunc func(from, to int, msg Message) Message
+
+// Intercept invokes the function.
+func (f InterceptorFunc) Intercept(from, to int, msg Message) Message { return f(from, to, msg) }
+
 // Medium is the message-level shared radio: transmissions reach all
 // physical neighbors of the sender after the frame airtime, unless the
 // omnipresent jammer destroys the frame (decided once per transmission,
@@ -69,10 +86,11 @@ type Medium struct {
 	chipLen  int
 	chipRate float64
 	mu       float64
-	observer func(from, to int, msg Message, jammed bool)
-	faults   FaultInjector
-	handlers map[int]Handler
-	stats    Stats
+	observer  func(from, to int, msg Message, jammed bool)
+	faults    FaultInjector
+	intercept Interceptor
+	handlers  map[int]Handler
+	stats     Stats
 }
 
 // MediumConfig configures the medium.
@@ -91,6 +109,10 @@ type MediumConfig struct {
 	// Faults, when set, injects channel faults (loss, duplication, bounded
 	// reorder) into every transmission that survived jamming.
 	Faults FaultInjector
+	// Intercept, when set, is consulted once per transmission that survived
+	// jamming, before the fault injector, and may replace the delivered
+	// message (Byzantine on-air adversaries).
+	Intercept Interceptor
 }
 
 // NewMedium creates a medium.
@@ -110,17 +132,23 @@ func NewMedium(cfg MediumConfig) (*Medium, error) {
 		return nil, fmt.Errorf("radio: Mu %v must be positive", cfg.Mu)
 	}
 	return &Medium{
-		engine:   cfg.Engine,
-		jammer:   cfg.Jammer,
-		adjacent: cfg.Adjacent,
-		chipLen:  cfg.ChipLen,
-		chipRate: cfg.ChipRate,
-		mu:       cfg.Mu,
-		observer: cfg.Observer,
-		faults:   cfg.Faults,
-		handlers: map[int]Handler{},
+		engine:    cfg.Engine,
+		jammer:    cfg.Jammer,
+		adjacent:  cfg.Adjacent,
+		chipLen:   cfg.ChipLen,
+		chipRate:  cfg.ChipRate,
+		mu:        cfg.Mu,
+		observer:  cfg.Observer,
+		faults:    cfg.Faults,
+		intercept: cfg.Intercept,
+		handlers:  map[int]Handler{},
 	}, nil
 }
+
+// SetInterceptor arms (or, with nil, disarms) the on-air interceptor after
+// construction, so an adversary can be plugged into an already-built
+// network.
+func (m *Medium) SetInterceptor(i Interceptor) { m.intercept = i }
 
 // Attach registers node's receive handler.
 func (m *Medium) Attach(node int, h Handler) {
@@ -163,6 +191,9 @@ func (m *Medium) transmit(from, to int, msg Message) error {
 	}
 	if m.observer != nil {
 		m.observer(from, to, msg, jammed)
+	}
+	if !jammed && m.intercept != nil {
+		msg = m.intercept.Intercept(from, to, msg)
 	}
 	var fd FaultDecision
 	if !jammed && m.faults != nil {

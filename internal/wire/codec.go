@@ -1,0 +1,380 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/ibc"
+)
+
+// Encode serializes payload as a versioned frame of the given kind. The
+// payload's concrete type must match the kind (a mismatch is ErrBadKind),
+// and every variable-length field must fit the limits (ErrOverflow
+// otherwise) — the encoder enforces the same caps as the decoder so that
+// anything it emits is decodable, and a decode→encode round trip of any
+// accepted frame is byte-identical.
+func Encode(kind int, payload any, lim Limits) ([]byte, error) {
+	if err := lim.Validate(); err != nil {
+		return nil, err
+	}
+	w := &writer{lim: lim}
+	switch kind {
+	case KindHello:
+		p, ok := payload.(Hello)
+		if !ok {
+			return nil, kindMismatch(kind, payload)
+		}
+		w.id(p.Initiator)
+	case KindConfirm:
+		p, ok := payload.(Confirm)
+		if !ok {
+			return nil, kindMismatch(kind, payload)
+		}
+		w.id(p.Responder)
+		w.id(p.Initiator)
+	case KindAuth1, KindAuth2:
+		p, ok := payload.(Auth)
+		if !ok {
+			return nil, kindMismatch(kind, payload)
+		}
+		w.id(p.Sender)
+		w.id(p.Peer)
+		w.bytes(p.Nonce, lim.MaxNonce, "nonce")
+		w.bytes(p.MAC, lim.MaxMAC, "mac")
+	case KindMNDPRequest:
+		p, ok := payload.(MNDPRequest)
+		if !ok {
+			return nil, kindMismatch(kind, payload)
+		}
+		w.bytes(p.Nonce, lim.MaxNonce, "nonce")
+		w.hopCount(p.Nu, "nu")
+		w.hops(p.Hops)
+		w.bool(p.HasOriginPos)
+		if p.HasOriginPos {
+			w.f64(p.OriginPosX)
+			w.f64(p.OriginPosY)
+		}
+	case KindMNDPResponse:
+		p, ok := payload.(MNDPResponse)
+		if !ok {
+			return nil, kindMismatch(kind, payload)
+		}
+		w.id(p.Origin)
+		w.bytes(p.Nonce, lim.MaxNonce, "nonce")
+		w.bytes(p.OriginNonce, lim.MaxNonce, "origin nonce")
+		w.hopCount(p.Nu, "nu")
+		w.hops(p.Path)
+		w.ids(p.ReturnRoute, lim.MaxHops, "return route")
+	case KindSessionHello, KindSessionConfirm:
+		p, ok := payload.(Session)
+		if !ok {
+			return nil, kindMismatch(kind, payload)
+		}
+		w.id(p.Sender)
+		w.id(p.Peer)
+	default:
+		return nil, fmt.Errorf("%w: kind %d", ErrBadKind, kind)
+	}
+	if w.err != nil {
+		return nil, w.err
+	}
+	frame := make([]byte, 6+len(w.buf))
+	frame[0] = Version
+	frame[1] = byte(kind)
+	binary.BigEndian.PutUint32(frame[2:6], uint32(len(w.buf)))
+	copy(frame[6:], w.buf)
+	if len(frame) > lim.MaxFrame {
+		return nil, fmt.Errorf("%w: frame %d bytes > MaxFrame %d", ErrOverflow, len(frame), lim.MaxFrame)
+	}
+	return frame, nil
+}
+
+// Decode parses a frame under the limits and returns its kind and payload.
+// Every returned byte slice is a fresh copy — nothing aliases frame. The
+// body must be exactly consumed; trailing bytes are ErrOverflow.
+func Decode(frame []byte, lim Limits) (int, any, error) {
+	if err := lim.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if len(frame) > lim.MaxFrame {
+		return 0, nil, fmt.Errorf("%w: frame %d bytes > MaxFrame %d", ErrOverflow, len(frame), lim.MaxFrame)
+	}
+	if len(frame) < 6 {
+		return 0, nil, fmt.Errorf("%w: header needs 6 bytes, have %d", ErrTruncated, len(frame))
+	}
+	if frame[0] != Version {
+		return 0, nil, fmt.Errorf("%w: version %d (want %d)", ErrBadKind, frame[0], Version)
+	}
+	kind := int(frame[1])
+	if kind < KindHello || kind > numKinds {
+		return 0, nil, fmt.Errorf("%w: kind %d", ErrBadKind, kind)
+	}
+	bodyLen := binary.BigEndian.Uint32(frame[2:6])
+	if int64(bodyLen) != int64(len(frame)-6) {
+		if int64(bodyLen) > int64(len(frame)-6) {
+			return 0, nil, fmt.Errorf("%w: body declares %d bytes, %d present", ErrTruncated, bodyLen, len(frame)-6)
+		}
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after body", ErrOverflow, len(frame)-6-int(bodyLen))
+	}
+	r := &reader{buf: frame[6:], lim: lim}
+	var payload any
+	switch kind {
+	case KindHello:
+		payload = Hello{Initiator: r.id()}
+	case KindConfirm:
+		payload = Confirm{Responder: r.id(), Initiator: r.id()}
+	case KindAuth1, KindAuth2:
+		p := Auth{Sender: r.id(), Peer: r.id()}
+		p.Nonce = r.bytes(lim.MaxNonce, "nonce")
+		p.MAC = r.bytes(lim.MaxMAC, "mac")
+		payload = p
+	case KindMNDPRequest:
+		p := MNDPRequest{Nonce: r.bytes(lim.MaxNonce, "nonce")}
+		p.Nu = r.hopCount("nu")
+		p.Hops = r.hops()
+		p.HasOriginPos = r.bool()
+		if p.HasOriginPos {
+			p.OriginPosX = r.f64()
+			p.OriginPosY = r.f64()
+		}
+		payload = p
+	case KindMNDPResponse:
+		p := MNDPResponse{Origin: r.id()}
+		p.Nonce = r.bytes(lim.MaxNonce, "nonce")
+		p.OriginNonce = r.bytes(lim.MaxNonce, "origin nonce")
+		p.Nu = r.hopCount("nu")
+		p.Path = r.hops()
+		p.ReturnRoute = r.ids(lim.MaxHops, "return route")
+		payload = p
+	case KindSessionHello, KindSessionConfirm:
+		payload = Session{Sender: r.id(), Peer: r.id()}
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if len(r.buf) != r.off {
+		return 0, nil, fmt.Errorf("%w: %d undeclared bytes after %s payload", ErrOverflow, len(r.buf)-r.off, KindName(kind))
+	}
+	return kind, payload, nil
+}
+
+func kindMismatch(kind int, payload any) error {
+	return fmt.Errorf("%w: payload %T does not match kind %s", ErrBadKind, payload, KindName(kind))
+}
+
+// writer accumulates a body, carrying the first error.
+type writer struct {
+	buf []byte
+	lim Limits
+	err error
+}
+
+func (w *writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+func (w *writer) id(v ibc.NodeID) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, uint16(v))
+}
+
+func (w *writer) bytes(b []byte, cap int, field string) {
+	if len(b) > cap || len(b) > math.MaxUint16 {
+		w.fail(fmt.Errorf("%w: %s %d bytes > cap %d", ErrOverflow, field, len(b), cap))
+		return
+	}
+	w.buf = binary.BigEndian.AppendUint16(w.buf, uint16(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) ids(v []ibc.NodeID, cap int, field string) {
+	if len(v) > cap || len(v) > math.MaxUint16 {
+		w.fail(fmt.Errorf("%w: %s %d IDs > cap %d", ErrOverflow, field, len(v), cap))
+		return
+	}
+	w.buf = binary.BigEndian.AppendUint16(w.buf, uint16(len(v)))
+	for _, id := range v {
+		w.id(id)
+	}
+}
+
+// hopCount encodes a small non-negative count (hop budgets) as one byte.
+func (w *writer) hopCount(v int, field string) {
+	if v < 0 || v > 255 {
+		w.fail(fmt.Errorf("%w: %s %d outside [0, 255]", ErrOverflow, field, v))
+		return
+	}
+	w.buf = append(w.buf, byte(v))
+}
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+func (w *writer) f64(v float64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+func (w *writer) hops(hops []Hop) {
+	if len(hops) > w.lim.MaxHops {
+		w.fail(fmt.Errorf("%w: %d hops > cap %d", ErrOverflow, len(hops), w.lim.MaxHops))
+		return
+	}
+	w.buf = append(w.buf, byte(len(hops)))
+	for _, h := range hops {
+		w.id(h.ID)
+		w.ids(h.Neighbors, w.lim.MaxNeighbors, "neighbor list")
+		w.id(h.Sig.SignerID)
+		w.bytes(h.Sig.PubKey, w.lim.MaxSigField, "sig pubkey")
+		w.bytes(h.Sig.Cert, w.lim.MaxSigField, "sig cert")
+		w.bytes(h.Sig.Sig, w.lim.MaxSigField, "sig bytes")
+	}
+}
+
+// reader consumes a body, carrying the first error; accessors return zero
+// values once failed so decode logic stays linear.
+type reader struct {
+	buf []byte
+	off int
+	lim Limits
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) take(n int, field string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(fmt.Errorf("%w: %s needs %d bytes, %d left", ErrTruncated, field, n, len(r.buf)-r.off))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) id() ibc.NodeID {
+	b := r.take(2, "node ID")
+	if b == nil {
+		return 0
+	}
+	return ibc.NodeID(binary.BigEndian.Uint16(b))
+}
+
+func (r *reader) u16(field string) int {
+	b := r.take(2, field)
+	if b == nil {
+		return 0
+	}
+	return int(binary.BigEndian.Uint16(b))
+}
+
+func (r *reader) bytes(cap int, field string) []byte {
+	n := r.u16(field + " length")
+	if r.err != nil {
+		return nil
+	}
+	if n > cap {
+		r.fail(fmt.Errorf("%w: %s %d bytes > cap %d", ErrOverflow, field, n, cap))
+		return nil
+	}
+	b := r.take(n, field)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (r *reader) ids(cap int, field string) []ibc.NodeID {
+	n := r.u16(field + " count")
+	if r.err != nil {
+		return nil
+	}
+	if n > cap {
+		r.fail(fmt.Errorf("%w: %s %d IDs > cap %d", ErrOverflow, field, n, cap))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]ibc.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.id())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (r *reader) hopCount(field string) int {
+	b := r.take(1, field)
+	if b == nil {
+		return 0
+	}
+	return int(b[0])
+}
+
+func (r *reader) bool() bool {
+	b := r.take(1, "bool")
+	if b == nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(fmt.Errorf("%w: bool byte %d not 0/1", ErrBadKind, b[0]))
+		return false
+	}
+}
+
+func (r *reader) f64() float64 {
+	b := r.take(8, "float64")
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+func (r *reader) hops() []Hop {
+	n := r.hopCount("hop count")
+	if r.err != nil {
+		return nil
+	}
+	if n > r.lim.MaxHops {
+		r.fail(fmt.Errorf("%w: %d hops > cap %d", ErrOverflow, n, r.lim.MaxHops))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Hop, 0, n)
+	for i := 0; i < n; i++ {
+		h := Hop{ID: r.id()}
+		h.Neighbors = r.ids(r.lim.MaxNeighbors, "neighbor list")
+		h.Sig.SignerID = r.id()
+		h.Sig.PubKey = r.bytes(r.lim.MaxSigField, "sig pubkey")
+		h.Sig.Cert = r.bytes(r.lim.MaxSigField, "sig cert")
+		h.Sig.Sig = r.bytes(r.lim.MaxSigField, "sig bytes")
+		out = append(out, h)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}

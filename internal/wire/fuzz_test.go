@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// FuzzDecodeFrame drives arbitrary bytes through Decode under the derived
+// limits. Properties: no panic, every failure maps into the typed error
+// taxonomy, and every accepted frame re-encodes byte-identically
+// (canonical form) and decodes to the same payload again.
+func FuzzDecodeFrame(f *testing.F) {
+	lim := LimitsFromParams(analysis.Defaults())
+	// Seed with one valid frame per kind, plus truncations and header
+	// mutations of one of them, so the fuzzer starts past the header.
+	for kind, payload := range samplePayloads() {
+		frame, err := Encode(kind, payload, lim)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version, KindHello, 0, 0, 0, 0})
+	f.Add([]byte{Version, KindAuth1, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		kind, payload, err := Decode(frame, lim)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrOverflow) && !errors.Is(err, ErrBadKind) {
+				t.Fatalf("error outside taxonomy: %v", err)
+			}
+			return
+		}
+		again, err := Encode(kind, payload, lim)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Fatalf("accepted frame not canonical:\n in  %x\n out %x", frame, again)
+		}
+		kind2, payload2, err := Decode(again, lim)
+		if err != nil || kind2 != kind {
+			t.Fatalf("re-decode failed: kind %d vs %d, err %v", kind2, kind, err)
+		}
+		_ = payload2
+	})
+}
