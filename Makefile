@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test tier1 race bench report chaos fuzz vuln
+.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,7 @@ tier1: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) authd-smoke
 
 # chaos runs the fault-injection matrix under the race detector: jammer ×
 # churn × channel-loss cells with invariant and determinism checking. See
@@ -26,13 +27,26 @@ chaos:
 race:
 	$(GO) test -race ./...
 
+# authd-smoke boots the authority service on an ephemeral port, provisions
+# a batch, revokes a code past γ, asserts the /metrics counters, runs a
+# small mixed loadgen pass, and shuts down gracefully. See docs/authority.md.
+authd-smoke:
+	$(GO) test -race -run 'TestAuthdSmoke|TestLoadgenLoopback' ./cmd/jrsnd-authority
+
+# authd-bench re-measures the service baseline archived in BENCH_authd.json:
+# handler micro-benches plus a loadgen run over real loopback HTTP.
+authd-bench:
+	$(GO) test -run xxx -bench 'BenchmarkProvision|BenchmarkRevoke' -benchmem ./internal/authd
+	$(GO) run ./cmd/jrsnd-authority -loadgen -n 2000 -m 16 -l 20 -requests 4000 -workers 8 -batch 2 -json BENCH_authd.json
+
 # fuzz runs every native fuzz target (wire decoder, handshake transcript,
-# DSSS sync window) for FUZZTIME each. Out of tier1: run it before releases
-# or after touching the codec or receive paths.
+# DSSS sync window, authd request decoder) for FUZZTIME each. Out of
+# tier1: run it before releases or after touching a codec or receive path.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzHandshakeTranscript -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzSyncWindow -fuzztime $(FUZZTIME) ./internal/dsss
+	$(GO) test -run xxx -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME) ./internal/authd
 
 # vuln scans the module against the Go vulnerability database. Out of
 # tier1: needs network access and the govulncheck tool

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/authd"
+	"repro/internal/metrics"
+)
+
+// TestAuthdSmoke is the `make authd-smoke` gate: boot the service on an
+// ephemeral loopback port, provision a batch of nodes, revoke one code
+// past γ, scrape GET /metrics and assert the provision/revoke counters,
+// then shut down gracefully.
+func TestAuthdSmoke(t *testing.T) {
+	p := analysis.Defaults()
+	p.N, p.M, p.L, p.Gamma, p.Q = 64, 4, 8, 2, 0
+	srv, err := authd.New(authd.Config{Params: p, Seed: 9, Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cl := &authd.Client{Base: "http://" + addr, ClientID: "smoke"}
+
+	if err := cl.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	prov, err := cl.Provision(ctx, 8, "smoke")
+	if err != nil {
+		t.Fatalf("provision: %v", err)
+	}
+	if len(prov.Nodes) != 8 {
+		t.Fatalf("provisioned %d nodes, want 8", len(prov.Nodes))
+	}
+	code := prov.Nodes[0].Codes[0]
+	var revokedNow int
+	for i := 0; i <= p.Gamma; i++ {
+		rr, err := cl.Revoke(ctx, int32(code))
+		if err != nil {
+			t.Fatalf("revoke: %v", err)
+		}
+		if rr.RevokedNow {
+			revokedNow++
+		}
+	}
+	if revokedNow != 1 {
+		t.Fatalf("RevokedNow observed %d times, want exactly 1", revokedNow)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	snap, err := metrics.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("parse exposition: %v", err)
+	}
+	checks := map[string]uint64{
+		"authd_provisioned_nodes_total":           8,
+		"authd_revoke_reports_total":              uint64(p.Gamma) + 1,
+		"authd_revoked_codes_total":               1,
+		`authd_requests_total{route="provision"}`: 1,
+		`authd_requests_total{route="revoke"}`:    uint64(p.Gamma) + 1,
+	}
+	for name, want := range checks {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("metric %s = %d, want %d", name, got, want)
+		}
+	}
+
+	shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if err := cl.Healthz(ctx); err == nil {
+		t.Fatal("service still answering after shutdown")
+	}
+}
+
+// TestLoadgenLoopback exercises the acceptance path: `jrsnd-authority
+// -loadgen` boots an in-process server, completes a mixed
+// provision/join/revoke run, and prints throughput plus p50/p99.
+func TestLoadgenLoopback(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(options{
+		loadgen:  true,
+		n:        256,
+		m:        4,
+		l:        8,
+		gamma:    3,
+		seed:     2,
+		workers:  4,
+		requests: 120,
+		mix:      "50,20,30",
+		batch:    2,
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen run: %v\n%s", err, out.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"ops/s", "p50", "p99", "provision", "join", "revoke", "epoch"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("loadgen output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBadFlagCombos(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := run(options{target: "http://x"}, &out); code != 2 || err == nil {
+		t.Fatalf("-target without -loadgen: code %d err %v, want 2 + error", code, err)
+	}
+	if code, err := run(options{loadgen: true, mix: "1,2"}, &out); code != 2 || err == nil {
+		t.Fatalf("bad mix: code %d err %v, want 2 + error", code, err)
+	}
+	if code, err := run(options{loadgen: true, mix: "0,0,0"}, &out); code != 2 || err == nil {
+		t.Fatalf("zero mix: code %d err %v, want 2 + error", code, err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	p, j, r, err := parseMix(" 70, 10 ,20 ")
+	if err != nil || p != 70 || j != 10 || r != 20 {
+		t.Fatalf("parseMix = %d,%d,%d (%v)", p, j, r, err)
+	}
+	for _, bad := range []string{"", "1", "1,2", "a,b,c", "-1,2,3", "1,2,3,4"} {
+		if _, _, _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package authd is the networked code-provisioning authority of the
+// paper's system model (§V-A, §V-D) grown into a production-shaped
+// service. The single MANET authority that used to live only as
+// in-process library code (internal/codepool + internal/ibc) here serves
+// its three duties over HTTP:
+//
+//   - POST /v1/provision — deployment-time code assignment: hand out the
+//     pre-distributed code sets of the next unclaimed deployment slots.
+//   - POST /v1/join — late join per §V-A: admit a new node from the
+//     pre-provisioned virtual-node slots, running further distribution
+//     rounds (a batch expansion, which advances the epoch) when those are
+//     exhausted.
+//   - POST /v1/revoke — invalid-code reports routed through
+//     codepool.Revoker, preserving its exactly-one-revocation guarantee.
+//
+// plus GET /v1/epoch (distribution-epoch counter and slot accounting),
+// GET /v1/node (sharded assignment lookup), GET /healthz, and
+// GET /metrics (Prometheus text via internal/metrics).
+//
+// The service is built for concurrency the way the rest of the repo is
+// built for determinism: mutable per-node state (assignment records,
+// per-client rate-limit buckets) is sharded with per-shard locking so
+// provisioning scales across cores; the codepool itself sits behind a
+// single RWMutex because §V-A joins mutate the shared pool, while the
+// deployment-slot cursor is a lock-free atomic. Request decoding is
+// strictly bounded in the style of internal/wire — size caps derived
+// from analysis.Params, a typed error taxonomy, no allocation driven by
+// hostile lengths — and every handler increments a registered metrics
+// counter. Shutdown is graceful: the listener closes, in-flight requests
+// drain, and a deadline bounds the wait.
+package authd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/codepool"
+	"repro/internal/metrics"
+)
+
+// Service-level error taxonomy, on top of the decode taxonomy in codec.go.
+var (
+	// ErrExhausted: every deployment slot has been provisioned; late
+	// arrivals must use /v1/join.
+	ErrExhausted = errors.New("authd: deployment slots exhausted")
+	// ErrRateLimited: the per-client token bucket refused the request.
+	ErrRateLimited = errors.New("authd: rate limited")
+	// ErrNotFound: the requested node has no assignment record.
+	ErrNotFound = errors.New("authd: unknown node")
+)
+
+// Config configures a Server. Params and Seed are required; everything
+// else has a production default.
+type Config struct {
+	// Params sizes the code pool (N deployment slots, M codes per node,
+	// L sharers, Gamma revocation threshold) and derives the request
+	// decode caps.
+	Params analysis.Params
+	// Seed drives the deterministic pool construction and the join-time
+	// batch expansions.
+	Seed int64
+	// Shards is the shard count for the assignment registry and the
+	// rate limiter. 0 means 2×GOMAXPROCS rounded up to a power of two.
+	Shards int
+	// Rate and Burst configure the per-client token bucket (requests per
+	// second of sustained rate, bucket depth). Rate 0 selects the
+	// default (64 req/s, burst 128); a negative Rate disables limiting.
+	Rate  float64
+	Burst int
+	// Metrics receives the service instruments; nil creates a private
+	// registry (GET /metrics always works).
+	Metrics *metrics.Registry
+	// Limits bounds request decoding; the zero value derives caps from
+	// Params via LimitsFromParams.
+	Limits Limits
+
+	// now is the wall clock, injectable for rate-limiter tests.
+	now func() time.Time
+}
+
+// Server is the authority service. Create with New, attach to a listener
+// with Start (or mount Handler yourself), stop with Shutdown.
+type Server struct {
+	cfg Config
+	lim Limits
+
+	// poolMu guards pool: provision reads code sets under RLock; joins
+	// (which mutate the shared pool and may run a batch expansion) take
+	// the write lock together with joinRng.
+	poolMu  sync.RWMutex
+	pool    *codepool.Pool
+	joinRng *rand.Rand
+
+	rev *codepool.Revoker
+
+	reg *registry // sharded node-ID → assignment records
+	rl  *limiter  // sharded per-client token buckets
+
+	// nextSlot is the deployment-slot cursor: atomic claim, so two
+	// concurrent provisions can never hand out overlapping slot ranges.
+	nextSlot atomic.Int64
+
+	m   *serverMetrics
+	mux *http.ServeMux
+
+	httpSrv  *http.Server
+	inflight sync.WaitGroup
+
+	// hookEntered, when set (tests only), is called after a mutating
+	// handler has been admitted but before it touches state — the drain
+	// test uses it to park requests in flight across a Shutdown call.
+	hookEntered func(route string)
+}
+
+// New builds the pool, registry, limiter, and instruments, and wires the
+// HTTP routes. The pool construction is deterministic in (Params, Seed).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("authd: %w", err)
+	}
+	if cfg.Limits == (Limits{}) {
+		cfg.Limits = LimitsFromParams(cfg.Params)
+	}
+	if err := cfg.Limits.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = nextPow2(2 * runtime.GOMAXPROCS(0))
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("authd: Shards %d must be >= 1", cfg.Shards)
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate, cfg.Burst = 64, 128
+	}
+	if cfg.Rate > 0 && cfg.Burst < 1 {
+		cfg.Burst = int(cfg.Rate)
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+
+	poolRng := rand.New(rand.NewSource(cfg.Seed))
+	pool, err := codepool.New(codepool.Config{
+		N: cfg.Params.N, M: cfg.Params.M, L: cfg.Params.L, Rand: poolRng,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("authd: %w", err)
+	}
+	rev, err := codepool.NewRevoker(cfg.Params.Gamma)
+	if err != nil {
+		return nil, fmt.Errorf("authd: %w", err)
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		lim:     cfg.Limits,
+		pool:    pool,
+		joinRng: rand.New(rand.NewSource(cfg.Seed + 1)),
+		rev:     rev,
+		reg:     newRegistry(cfg.Shards),
+		m:       newServerMetrics(cfg.Metrics),
+	}
+	if cfg.Rate > 0 {
+		s.rl = newLimiter(cfg.Shards, cfg.Rate, cfg.Burst, cfg.now)
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler, for mounting under a
+// caller-owned http.Server or an httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// serves in a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("authd: listen: %w", err)
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the service gracefully: the listener closes, in-flight
+// requests run to completion (both the HTTP server's connection tracking
+// and the handler-level WaitGroup are awaited), and ctx bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Epoch returns the current distribution epoch: the number of §V-A batch
+// expansions run so far (epoch 0 is the pre-deployment distribution).
+func (s *Server) Epoch() int {
+	s.poolMu.RLock()
+	defer s.poolMu.RUnlock()
+	return s.pool.Expansions()
+}
+
+// provision claims up to count deployment slots and records their
+// assignments. The slot cursor is an atomic add, so concurrent calls get
+// disjoint ranges without touching a lock; only the per-slot record
+// insert takes (sharded) locks.
+func (s *Server) provision(count int, tag string) ([]Assignment, error) {
+	n := int64(s.cfg.Params.N)
+	start := s.nextSlot.Add(int64(count)) - int64(count)
+	if start >= n {
+		return nil, ErrExhausted
+	}
+	end := start + int64(count)
+	if end > n {
+		end = n
+	}
+	out := make([]Assignment, 0, end-start)
+	now := s.cfg.now()
+	s.poolMu.RLock()
+	defer s.poolMu.RUnlock()
+	for node := start; node < end; node++ {
+		codes := s.pool.Codes(int(node))
+		if err := s.reg.insert(int(node), record{Codes: codes, Tag: tag, Via: "provision", At: now}); err != nil {
+			return nil, err
+		}
+		out = append(out, Assignment{Node: int(node), Codes: codes})
+		s.m.provisionedNodes.Inc()
+	}
+	return out, nil
+}
+
+// join admits one late node per §V-A, reporting whether the admission
+// forced a batch expansion (and therefore advanced the epoch).
+func (s *Server) join(tag string) (Assignment, bool, error) {
+	s.poolMu.Lock()
+	before := s.pool.Expansions()
+	node, err := s.pool.Join(s.joinRng)
+	if err != nil {
+		s.poolMu.Unlock()
+		return Assignment{}, false, fmt.Errorf("authd: %w", err)
+	}
+	expanded := s.pool.Expansions() > before
+	codes := s.pool.Codes(node)
+	s.poolMu.Unlock()
+
+	if err := s.reg.insert(node, record{Codes: codes, Tag: tag, Via: "join", At: s.cfg.now()}); err != nil {
+		return Assignment{}, false, err
+	}
+	s.m.joins.Inc()
+	if expanded {
+		s.m.expansions.Inc()
+	}
+	return Assignment{Node: node, Codes: codes}, expanded, nil
+}
+
+// revoke routes one invalid-code report through the Revoker. The
+// exactly-one-revocation guarantee is the Revoker's: of any set of
+// concurrent reports for a code, exactly one observes RevokedNow.
+func (s *Server) revoke(code codepool.CodeID) (RevokeResult, error) {
+	s.poolMu.RLock()
+	poolSize := s.pool.S()
+	s.poolMu.RUnlock()
+	if int(code) < 0 || int(code) >= poolSize {
+		return RevokeResult{}, fmt.Errorf("%w: code %d outside pool [0, %d)", ErrField, code, poolSize)
+	}
+	now := s.rev.ReportInvalid(code)
+	s.m.revokeReports.Inc()
+	if now {
+		s.m.revokedCodes.Inc()
+	}
+	return RevokeResult{
+		Code:       int32(code),
+		Count:      s.rev.Count(code),
+		Revoked:    s.rev.Revoked(code),
+		RevokedNow: now,
+	}, nil
+}
+
+// epochInfo snapshots the distribution-state counters for GET /v1/epoch.
+func (s *Server) epochInfo() EpochInfo {
+	s.poolMu.RLock()
+	defer s.poolMu.RUnlock()
+	provisioned := s.nextSlot.Load()
+	if n := int64(s.cfg.Params.N); provisioned > n {
+		provisioned = n
+	}
+	return EpochInfo{
+		Epoch:       s.pool.Expansions(),
+		VacantSlots: s.pool.VacantSlots(),
+		PoolSize:    s.pool.S(),
+		Provisioned: int(provisioned),
+		Joined:      s.pool.N() - s.cfg.Params.N,
+		Revoked:     s.rev.RevokedCodes(),
+	}
+}
+
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,91 @@
+package authd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Service-level micro-benches: one full handler pass (decode → sharded
+// state → encode) without network, so the numbers isolate the service
+// from the kernel's loopback stack. The loadgen (`jrsnd-authority
+// -loadgen`, BENCH_authd.json) measures the same paths over real HTTP.
+
+func benchServer(b *testing.B, n int) *Server {
+	b.Helper()
+	if n < 16 {
+		n = 16
+	}
+	p := analysis.Defaults()
+	p.N, p.M, p.L, p.Gamma, p.Q = n, 4, 8, 5, 0
+	srv, err := New(Config{Params: p, Seed: 1, Rate: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+func BenchmarkProvision(b *testing.B) {
+	// The pool is sized from b.N so the deployment never exhausts
+	// mid-measurement; construction stays outside the timer.
+	srv := benchServer(b, b.N+1)
+	h := srv.Handler()
+	body := `{"count":1}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/provision", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+func BenchmarkProvisionParallel(b *testing.B) {
+	srv := benchServer(b, b.N+1)
+	h := srv.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/provision", strings.NewReader(`{"count":1}`))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+}
+
+func BenchmarkRevoke(b *testing.B) {
+	srv := benchServer(b, 4096)
+	h := srv.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/revoke", strings.NewReader(`{"code":7}`))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+func BenchmarkDecodeProvisionRequest(b *testing.B) {
+	lim := LimitsFromParams(analysis.Defaults())
+	body := []byte(`{"count":32,"tag":"bench"}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeProvisionRequest(body, lim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package authd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"unicode/utf8"
+
+	"repro/internal/analysis"
+)
+
+// Bounded request decoding in the style of internal/wire: every request
+// body is capped before it is read, every variable-length field is capped
+// before it is kept, and every failure maps into a three-error taxonomy
+// so handlers (and the fuzz target) can classify hostile inputs without
+// string matching. The bodies are JSON for curl-ability, but the decoder
+// is strict: unknown fields, trailing data, wrong types, and out-of-domain
+// values are all rejected.
+
+// Typed decode-error taxonomy.
+var (
+	// ErrTooLarge: the request body exceeds Limits.MaxBody.
+	ErrTooLarge = errors.New("authd: request body exceeds limit")
+	// ErrSyntax: the body is not a single well-formed JSON object.
+	ErrSyntax = errors.New("authd: malformed request body")
+	// ErrField: an unknown field, a wrong type, or a value outside its
+	// domain (count out of range, tag too long, negative code, …).
+	ErrField = errors.New("authd: field out of domain")
+)
+
+// Request kinds, for the generic DecodeRequest entry point the fuzz
+// target drives.
+const (
+	ReqProvision = iota + 1
+	ReqJoin
+	ReqRevoke
+	numReqKinds = ReqRevoke
+)
+
+// Limits bounds every variable-length part of a request the decoder will
+// hold on to. A request declaring anything larger is rejected before the
+// service state is touched.
+type Limits struct {
+	// MaxBody caps the request body in bytes.
+	MaxBody int
+	// MaxBatch caps the Count of one provision request.
+	MaxBatch int
+	// MaxTag caps the client-supplied tag in bytes.
+	MaxTag int
+}
+
+// Validate rejects unusable limit sets.
+func (l Limits) Validate() error {
+	switch {
+	case l.MaxBody < 16:
+		return fmt.Errorf("authd: MaxBody %d too small", l.MaxBody)
+	case l.MaxBatch < 1:
+		return fmt.Errorf("authd: MaxBatch %d must be >= 1", l.MaxBatch)
+	case l.MaxTag < 0:
+		return fmt.Errorf("authd: MaxTag %d must be >= 0", l.MaxTag)
+	}
+	return nil
+}
+
+// LimitsFromParams derives the caps from the Table I parameter set: one
+// provision request may claim at most a quarter of the deployment (so a
+// single hostile request cannot monopolize the slot space), tags are
+// bounded like a node-ID-sized label, and the body cap is the worst-case
+// honest request under those caps plus slack.
+func LimitsFromParams(p analysis.Params) Limits {
+	l := Limits{MaxTag: 128}
+	l.MaxBatch = p.N / 4
+	if l.MaxBatch < 16 {
+		l.MaxBatch = 16
+	}
+	if l.MaxBatch > 4096 {
+		l.MaxBatch = 4096
+	}
+	// {"count":<int>,"tag":"…"} plus escaping headroom for the tag.
+	l.MaxBody = 64 + 6*l.MaxTag
+	return l
+}
+
+// ProvisionRequest asks for the next Count unclaimed deployment slots.
+// An empty body is a valid request for one slot.
+type ProvisionRequest struct {
+	// Count is the number of slots to claim, in [1, MaxBatch]. Zero (the
+	// empty-body default) means 1.
+	Count int `json:"count,omitempty"`
+	// Tag is an optional client label stored with the assignment.
+	Tag string `json:"tag,omitempty"`
+}
+
+// JoinRequest admits one late-joining node (§V-A).
+type JoinRequest struct {
+	Tag string `json:"tag,omitempty"`
+}
+
+// RevokeRequest reports one invalid neighbor-discovery request received
+// under Code (§V-D).
+type RevokeRequest struct {
+	Code int32 `json:"code"`
+	// Reporter is an optional label of the reporting node.
+	Reporter string `json:"reporter,omitempty"`
+}
+
+// decodeStrict parses data as exactly one JSON value into dst, rejecting
+// unknown fields and trailing input. Empty input is allowed (dst keeps
+// its zero value) so `curl -X POST` without a body works.
+func decodeStrict(data []byte, lim Limits, dst any) error {
+	if len(data) > lim.MaxBody {
+		return fmt.Errorf("%w: %d bytes > MaxBody %d", ErrTooLarge, len(data), lim.MaxBody)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var typeErr *json.UnmarshalTypeError
+		if errors.As(err, &typeErr) {
+			return fmt.Errorf("%w: field %q: %v", ErrField, typeErr.Field, err)
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return fmt.Errorf("%w: truncated JSON", ErrSyntax)
+		}
+		var synErr *json.SyntaxError
+		if errors.As(err, &synErr) {
+			return fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		// json.Decoder reports unknown fields as a bare errors.New.
+		return fmt.Errorf("%w: %v", ErrField, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after request", ErrSyntax)
+	}
+	return nil
+}
+
+func checkTag(tag string, lim Limits, what string) error {
+	if len(tag) > lim.MaxTag {
+		return fmt.Errorf("%w: %s %d bytes > MaxTag %d", ErrField, what, len(tag), lim.MaxTag)
+	}
+	if !utf8.ValidString(tag) {
+		return fmt.Errorf("%w: %s is not valid UTF-8", ErrField, what)
+	}
+	return nil
+}
+
+// DecodeProvisionRequest parses and bounds one provision body.
+func DecodeProvisionRequest(data []byte, lim Limits) (ProvisionRequest, error) {
+	var req ProvisionRequest
+	if err := decodeStrict(data, lim, &req); err != nil {
+		return ProvisionRequest{}, err
+	}
+	if req.Count == 0 {
+		req.Count = 1
+	}
+	if req.Count < 1 || req.Count > lim.MaxBatch {
+		return ProvisionRequest{}, fmt.Errorf("%w: count %d outside [1, %d]", ErrField, req.Count, lim.MaxBatch)
+	}
+	if err := checkTag(req.Tag, lim, "tag"); err != nil {
+		return ProvisionRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeJoinRequest parses and bounds one join body.
+func DecodeJoinRequest(data []byte, lim Limits) (JoinRequest, error) {
+	var req JoinRequest
+	if err := decodeStrict(data, lim, &req); err != nil {
+		return JoinRequest{}, err
+	}
+	if err := checkTag(req.Tag, lim, "tag"); err != nil {
+		return JoinRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeRevokeRequest parses and bounds one revoke body. The code must be
+// non-negative; the handler additionally checks it against the pool size.
+func DecodeRevokeRequest(data []byte, lim Limits) (RevokeRequest, error) {
+	var req RevokeRequest
+	if err := decodeStrict(data, lim, &req); err != nil {
+		return RevokeRequest{}, err
+	}
+	if req.Code < 0 {
+		return RevokeRequest{}, fmt.Errorf("%w: code %d must be >= 0", ErrField, req.Code)
+	}
+	if err := checkTag(req.Reporter, lim, "reporter"); err != nil {
+		return RevokeRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeRequest dispatches on the request kind and returns the decoded
+// payload. Unknown kinds are ErrField. This is the single entry point the
+// fuzz target drives.
+func DecodeRequest(kind int, data []byte, lim Limits) (any, error) {
+	if err := lim.Validate(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case ReqProvision:
+		return DecodeProvisionRequest(data, lim)
+	case ReqJoin:
+		return DecodeJoinRequest(data, lim)
+	case ReqRevoke:
+		return DecodeRevokeRequest(data, lim)
+	default:
+		return nil, fmt.Errorf("%w: request kind %d", ErrField, kind)
+	}
+}
+
+// EncodeRequest renders a decoded request back to its canonical JSON
+// form. Decode(Encode(Decode(x))) == Decode(x) for every accepted x — the
+// round-trip property the fuzz target checks.
+func EncodeRequest(payload any) ([]byte, error) {
+	switch payload.(type) {
+	case ProvisionRequest, JoinRequest, RevokeRequest:
+		return json.Marshal(payload)
+	default:
+		return nil, fmt.Errorf("%w: payload type %T", ErrField, payload)
+	}
+}

@@ -1,0 +1,56 @@
+package authd
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// FuzzDecodeRequest drives arbitrary bytes through the bounded request
+// decoder for every request kind, matching the internal/wire fuzz
+// pattern. Properties: no panic, every failure maps into the typed
+// error taxonomy (ErrTooLarge / ErrSyntax / ErrField), and every
+// accepted request re-encodes to canonical JSON that decodes back to
+// the identical value.
+func FuzzDecodeRequest(f *testing.F) {
+	lim := LimitsFromParams(analysis.Defaults())
+
+	// Seed corpus: one valid body per kind, the empty-body default,
+	// boundary values, and malformed variants the taxonomy must classify.
+	f.Add(ReqProvision, []byte(`{"count":4,"tag":"platoon-7"}`))
+	f.Add(ReqProvision, []byte(`{"count":1}`))
+	f.Add(ReqProvision, []byte(``))
+	f.Add(ReqJoin, []byte(`{"tag":"late-joiner"}`))
+	f.Add(ReqJoin, []byte(`{}`))
+	f.Add(ReqRevoke, []byte(`{"code":17,"reporter":"node-3"}`))
+	f.Add(ReqRevoke, []byte(`{"code":0}`))
+	f.Add(ReqProvision, []byte(`{"count":`))
+	f.Add(ReqProvision, []byte(`{"cout":1}`))
+	f.Add(ReqRevoke, []byte(`{"code":-1}`))
+	f.Add(ReqJoin, []byte(`{} {}`))
+	f.Add(ReqProvision, []byte(`{"count":999999999}`))
+	f.Add(0, []byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, kind int, data []byte) {
+		payload, err := DecodeRequest(kind, data, lim)
+		if err != nil {
+			if !errors.Is(err, ErrTooLarge) && !errors.Is(err, ErrSyntax) && !errors.Is(err, ErrField) {
+				t.Fatalf("error outside taxonomy: %v", err)
+			}
+			return
+		}
+		again, err := EncodeRequest(payload)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		payload2, err := DecodeRequest(kind, again, lim)
+		if err != nil {
+			t.Fatalf("canonical form does not re-decode: %v (body %s)", err, again)
+		}
+		if !reflect.DeepEqual(payload, payload2) {
+			t.Fatalf("round trip diverged:\n in  %#v\n out %#v", payload, payload2)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package authd
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadgenMixedRunAgainstLoopback(t *testing.T) {
+	_, cl := newTestServer(t, Config{Params: testParams(64, 4, 8), Seed: 5, Rate: -1})
+
+	report, err := RunLoad(context.Background(), LoadConfig{
+		Target:       cl.Base,
+		Workers:      4,
+		Requests:     80,
+		MixProvision: 50, MixJoin: 20, MixRevoke: 30,
+		Batch: 2,
+		Seed:  42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Ops != 80 {
+		t.Fatalf("ops = %d, want 80", report.Ops)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (report: %s)", report.Errors, report.Format())
+	}
+	for _, op := range []string{"provision", "join", "revoke"} {
+		st, ok := report.PerOp[op]
+		if !ok || st.Count == 0 {
+			t.Fatalf("op %q missing from the mix: %+v", op, report.PerOp)
+		}
+	}
+	if report.Throughput <= 0 || report.P50 <= 0 || report.P99 < report.P50 {
+		t.Fatalf("degenerate latency stats: throughput %.1f p50 %v p99 %v",
+			report.Throughput, report.P50, report.P99)
+	}
+	out := report.Format()
+	for _, want := range []string{"ops/s", "p50", "p99", "provision", "join", "revoke"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report output missing %q:\n%s", want, out)
+		}
+	}
+
+	// 64 slots with up to 50%% provisions of batch 2 may exhaust; that is
+	// a counted outcome, never an error.
+	if st := report.PerOp["provision"]; st.Errors != 0 {
+		t.Fatalf("provision errors = %d, want 0 (exhausted = %d)", st.Errors, st.Exhausted)
+	}
+}
+
+func TestLoadgenValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunLoad(ctx, LoadConfig{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+	if _, err := RunLoad(ctx, LoadConfig{Target: "http://x", Workers: 0, Requests: 1}); err == nil {
+		t.Fatal("zero workers must fail")
+	}
+	if _, err := RunLoad(ctx, LoadConfig{Target: "http://x", Workers: 1, Requests: 0}); err == nil {
+		t.Fatal("zero requests must fail")
+	}
+	if _, err := RunLoad(ctx, LoadConfig{Target: "http://x", Workers: 1, Requests: 1, MixJoin: -1}); err == nil {
+		t.Fatal("negative mix weight must fail")
+	}
+}
+
+func TestAggregateClassifiesOutcomes(t *testing.T) {
+	samples := []sample{
+		{op: "provision", latency: 2 * time.Millisecond},
+		{op: "provision", latency: 4 * time.Millisecond, err: ErrExhausted},
+		{op: "revoke", latency: time.Millisecond},
+		{op: "join", latency: 3 * time.Millisecond, err: errors.New("boom")},
+		{}, // cancelled slot
+	}
+	r := aggregate(samples, time.Second)
+	if r.Ops != 4 {
+		t.Fatalf("ops = %d, want 4 (cancelled slot excluded)", r.Ops)
+	}
+	if r.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", r.Errors)
+	}
+	if st := r.PerOp["provision"]; st.Count != 2 || st.Exhausted != 1 || st.Errors != 0 {
+		t.Fatalf("provision stats = %+v", st)
+	}
+	if st := r.PerOp["join"]; st.Errors != 1 {
+		t.Fatalf("join stats = %+v", st)
+	}
+	if r.Throughput != 4 {
+		t.Fatalf("throughput = %v, want 4 ops/s", r.Throughput)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	lats := []time.Duration{5, 1, 4, 2, 3}
+	if got := percentile(lats, 0.5); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := percentile(lats, 0.99); got != 4 {
+		t.Fatalf("p99 = %v (nearest rank below the max), want 4", got)
+	}
+	if got := percentile(lats, 1); got != 5 {
+		t.Fatalf("p100 = %v, want 5", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty p50 = %v, want 0", got)
+	}
+}

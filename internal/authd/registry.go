@@ -1,0 +1,82 @@
+package authd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codepool"
+)
+
+// Sharded assignment registry: mutable per-node state lives in S shards,
+// each behind its own mutex, so concurrent provisions and joins on
+// different nodes never contend. Node IDs are dense integers, so the
+// shard function is a simple mask (Shards is rounded to a power of two
+// by New when defaulted).
+
+// record is one node's assignment as the authority remembers it.
+type record struct {
+	Codes []codepool.CodeID
+	Tag   string
+	Via   string // "provision" or "join"
+	At    time.Time
+}
+
+type regShard struct {
+	mu    sync.RWMutex
+	nodes map[int]record
+}
+
+type registry struct {
+	shards []regShard
+}
+
+func newRegistry(shards int) *registry {
+	r := &registry{shards: make([]regShard, shards)}
+	for i := range r.shards {
+		r.shards[i].nodes = make(map[int]record)
+	}
+	return r
+}
+
+func (r *registry) shard(node int) *regShard {
+	return &r.shards[node%len(r.shards)]
+}
+
+// insert records node's assignment exactly once. A second insert for the
+// same node is the double-assignment bug the concurrency suite hunts for,
+// surfaced as an error rather than silently overwritten.
+func (r *registry) insert(node int, rec record) error {
+	sh := r.shard(node)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.nodes[node]; ok {
+		return fmt.Errorf("authd: node %d assigned twice", node)
+	}
+	sh.nodes[node] = rec
+	return nil
+}
+
+// get returns node's assignment record.
+func (r *registry) get(node int) (record, bool) {
+	if node < 0 {
+		return record{}, false
+	}
+	sh := r.shard(node)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.nodes[node]
+	return rec, ok
+}
+
+// count sums the per-shard record counts.
+func (r *registry) count() int {
+	total := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		total += len(sh.nodes)
+		sh.mu.RUnlock()
+	}
+	return total
+}

@@ -18,6 +18,13 @@ import (
 // remain before the next join forces a batch expansion.
 func (p *Pool) VacantSlots() int { return len(p.vacant) }
 
+// Expansions returns how many batch expansions Join has run — the number
+// of times the authority had to execute the §V-A "further rounds of the
+// distribution process" because the pre-provisioned slots were exhausted.
+// It acts as the authority's distribution-epoch counter: epoch 0 is the
+// original pre-deployment distribution.
+func (p *Pool) Expansions() int { return p.expansions }
+
 // Join admits one new node and returns its index. rng is needed only when
 // a batch expansion runs (no vacant slots left).
 func (p *Pool) Join(rng *rand.Rand) (int, error) {
@@ -58,6 +65,7 @@ func (p *Pool) expandBatch(rng *rand.Rand) {
 		}
 	}
 	p.vacant = append(p.vacant, batch...)
+	p.expansions++
 }
 
 func insertSorted(xs []int32, v int32) []int32 {

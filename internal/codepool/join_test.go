@@ -85,6 +85,24 @@ func TestJoinBatchExpansion(t *testing.T) {
 	}
 }
 
+func TestExpansionsCountsBatchRuns(t *testing.T) {
+	// l | n: no vacant slots, so every w-th join runs a further
+	// distribution round and bumps the expansion (epoch) counter.
+	p := mustPool(t, 40, 6, 8, 34) // w = 5
+	if p.Expansions() != 0 {
+		t.Fatalf("Expansions = %d before any join, want 0", p.Expansions())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 11; i++ { // 11 joins over batches of 5 → 3 expansions
+		if _, err := p.Join(rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Expansions() != 3 {
+		t.Fatalf("Expansions = %d after 11 joins with w=5, want 3", p.Expansions())
+	}
+}
+
 func TestJoinedNodesShareCodesWithOldNodes(t *testing.T) {
 	p := mustPool(t, 40, 10, 8, 33)
 	rng := rand.New(rand.NewSource(2))

@@ -37,6 +37,8 @@ type Pool struct {
 	vacant  [][]CodeID // code sets of unclaimed virtual nodes (§V-A join)
 	seed    []byte     // secret used to materialize chip sequences
 
+	expansions int // batch expansions run by Join (§V-A further rounds)
+
 	uniformPool int // nonzero for NewUniform pools: the pool size s
 }
 
