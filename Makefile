@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench
+.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench lint
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,18 @@ test: build
 # then the chaos fault matrix.
 tier1: build
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) authd-smoke
+
+# lint machine-enforces the repo invariants (determinism, bounded decode,
+# constant-time compares, lock hygiene) with the stdlib-only analyzer in
+# internal/lint; JSON findings are folded into a one-line summary and the
+# pipeline exits non-zero on any unsuppressed finding. See
+# docs/static-analysis.md.
+lint:
+	$(GO) run ./cmd/jrsnd-lint -json ./... | $(GO) run ./cmd/jrsnd-lint -summarize
 
 # chaos runs the fault-injection matrix under the race detector: jammer ×
 # churn × channel-loss cells with invariant and determinism checking. See

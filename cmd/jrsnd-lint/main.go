@@ -1,0 +1,116 @@
+// jrsnd-lint runs the repo's invariant analyzers (internal/lint) over a
+// set of packages and fails the build on any unsuppressed finding.
+//
+//	jrsnd-lint ./...                 # human-readable findings, exit 1 if any
+//	jrsnd-lint -json ./...           # full Result as JSON on stdout
+//	jrsnd-lint -checks wallclock,globalrand ./internal/core
+//	jrsnd-lint -summarize < lint.json  # one-line verdict from a -json run
+//
+// Exit codes: 0 clean (suppressions are fine), 1 findings, 2 usage or
+// load failure. See docs/static-analysis.md for the invariants and the
+// //jrsnd:allow directive grammar.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jrsnd-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the full result as JSON on stdout")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	summarize := fs.Bool("summarize", false, "read a -json result from stdin and print the one-line verdict")
+	verbose := fs.Bool("v", false, "also print suppressed findings with their directive reasons")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *summarize {
+		var res lint.Result
+		if err := json.NewDecoder(stdin).Decode(&res); err != nil {
+			fmt.Fprintf(stderr, "jrsnd-lint: -summarize: bad JSON on stdin: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, lint.Summary(res))
+		if len(res.Findings) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintf(stderr, "jrsnd-lint: %v\n", err)
+		return 2
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "jrsnd-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "jrsnd-lint: %v\n", err)
+		return 2
+	}
+
+	res := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		// JSON mode leaves the verdict to the consumer (e.g. a piped
+		// -summarize) instead of double-printing it on stderr.
+		if err := lint.JSON(stdout, res, loader.ModuleRoot); err != nil {
+			fmt.Fprintf(stderr, "jrsnd-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		lint.Human(stdout, res, loader.ModuleRoot, *verbose)
+		fmt.Fprintln(stderr, lint.Summary(res))
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves a -checks list against the suite.
+func selectAnalyzers(csv string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if csv == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (have: %s)", name, names(all))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func names(as []*lint.Analyzer) string {
+	var ns []string
+	for _, a := range as {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanRepo is the CLI-level acceptance check: the shipped tree
+// lints clean with exit 0, and the stderr summary is the one-liner the
+// Makefile surfaces.
+func TestRunCleanRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var out, errw bytes.Buffer
+	code := run([]string{"./..."}, strings.NewReader(""), &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(errw.String(), "jrsnd-lint: clean") {
+		t.Errorf("summary line missing from stderr: %q", errw.String())
+	}
+}
+
+func TestRunUnknownCheck(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-checks", "nosuch", "./..."}, strings.NewReader(""), &out, &errw); code != 2 {
+		t.Errorf("exit = %d, want 2 for unknown check", code)
+	}
+}
+
+// TestSummarize pins the -json | -summarize pipeline the Makefile runs.
+func TestSummarize(t *testing.T) {
+	dirty := `{"packages": 3, "findings": [{"check":"wallclock","file":"x.go","line":1,"col":1,"message":"m"}], "suppressed": []}`
+	var out, errw bytes.Buffer
+	if code := run([]string{"-summarize"}, strings.NewReader(dirty), &out, &errw); code != 1 {
+		t.Errorf("exit = %d, want 1 for findings", code)
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "1 findings") {
+		t.Errorf("summary = %q", out.String())
+	}
+
+	clean := `{"packages": 3, "findings": [], "suppressed": [{"check":"wallclock","file":"y.go","line":2,"col":2,"message":"m","reason":"r r"}]}`
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-summarize"}, strings.NewReader(clean), &out, &errw); code != 0 {
+		t.Errorf("exit = %d, want 0 for clean", code)
+	}
+	if !strings.Contains(out.String(), "clean") || !strings.Contains(out.String(), "1 suppressed") {
+		t.Errorf("summary = %q", out.String())
+	}
+
+	if code := run([]string{"-summarize"}, strings.NewReader("not json"), &out, &errw); code != 2 {
+		t.Errorf("exit = %d, want 2 for bad JSON", code)
+	}
+}

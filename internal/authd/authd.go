@@ -152,7 +152,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.Metrics = metrics.New()
 	}
 	if cfg.now == nil {
-		cfg.now = time.Now
+		cfg.now = time.Now //jrsnd:allow wallclock default clock for the live network service; tests inject cfg.now and the protocol engine never reaches this path
 	}
 
 	poolRng := rand.New(rand.NewSource(cfg.Seed))

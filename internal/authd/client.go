@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"net/http"
@@ -34,7 +35,9 @@ type Client struct {
 	BackoffBase time.Duration
 	// BackoffCap bounds one delay; 0 = 2 s.
 	BackoffCap time.Duration
-	// Rand drives the jitter; nil seeds from wall time at first use.
+	// Rand drives the jitter; nil derives a source from (Base, ClientID)
+	// at first use, so two clients with equal config draw identical
+	// backoff schedules and tests stay reproducible without injection.
 	Rand *rand.Rand
 
 	mu sync.Mutex // guards Rand
@@ -70,7 +73,11 @@ func (c *Client) jitter(k int) time.Duration {
 	}
 	c.mu.Lock()
 	if c.Rand == nil {
-		c.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+		h := fnv.New64a()
+		h.Write([]byte(c.Base))
+		h.Write([]byte{0})
+		h.Write([]byte(c.ClientID))
+		c.Rand = rand.New(rand.NewSource(int64(h.Sum64())))
 	}
 	d := time.Duration(c.Rand.Int63n(int64(window) + 1))
 	c.mu.Unlock()
@@ -122,7 +129,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(c.jitter(attempt - 1)):
+			case <-time.After(c.jitter(attempt - 1)): //jrsnd:allow wallclock real sleep between retries against a live HTTP server; never runs under the simulator
 			}
 		}
 		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(reqBody))

@@ -32,7 +32,7 @@ type registry struct {
 }
 
 func newRegistry(shards int) *registry {
-	r := &registry{shards: make([]regShard, shards)}
+	r := &registry{shards: make([]regShard, shards)} //jrsnd:allow boundedalloc shards is operator config validated by New (Shards >= 1), never a wire-decoded count
 	for i := range r.shards {
 		r.shards[i].nodes = make(map[int]record)
 	}

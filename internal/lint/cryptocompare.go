@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// cryptocompare: §V-B's handshake rejects forgeries by MAC verification,
+// and the DoS analysis of §VI assumes an attacker learns nothing from
+// how a verifier fails. A short-circuiting comparison (== on a tag
+// string, bytes.Equal on a MAC) leaks the length of the matching prefix
+// through timing; verification must go through hmac.Equal or
+// subtle.ConstantTimeCompare (in this repo: ibc.VerifyMAC). The check is
+// a heuristic over declared names — values whose name suggests
+// authentication material must not be compared with a variable-time
+// primitive. False positives at sites that are genuinely not secret
+// (e.g. a client-chosen label that happens to be called "tag") take a
+// //jrsnd:allow cryptocompare directive saying so.
+
+// sensitiveNameRe matches identifiers that plausibly hold authentication
+// material.
+var sensitiveNameRe = regexp.MustCompile(`(?i)mac|tag|digest|auth`)
+
+var cryptocompareAnalyzer = &Analyzer{
+	Name: "cryptocompare",
+	Doc:  "require constant-time comparison (hmac.Equal / subtle.ConstantTimeCompare) for MAC/tag/digest values",
+	Run:  runCryptocompare,
+}
+
+func runCryptocompare(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				// Comparing against a constant (a message-kind byte, "")
+				// or nil is not a secret comparison.
+				if isConstOrNil(info, e.X) || isConstOrNil(info, e.Y) {
+					return true
+				}
+				if !comparableSecretType(info.TypeOf(e.X)) {
+					return true
+				}
+				if name, ok := sensitiveOperand(e.X, e.Y); ok {
+					pass.Reportf(e.OpPos,
+						"%s compared with %s leaks a timing side channel; use hmac.Equal or subtle.ConstantTimeCompare", name, e.Op)
+				}
+			case *ast.CallExpr:
+				if !isPkgFunc(info, e.Fun, "bytes", "Equal") || len(e.Args) != 2 {
+					return true
+				}
+				if name, ok := sensitiveOperand(e.Args[0], e.Args[1]); ok {
+					pass.Reportf(e.Pos(),
+						"%s compared with bytes.Equal leaks a timing side channel; use hmac.Equal or subtle.ConstantTimeCompare", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// comparableSecretType limits == findings to types where a variable-time
+// equality actually exists over secret bytes: strings and byte arrays.
+// (Slices don't support ==; numeric equality is single-instruction.)
+func comparableSecretType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Array:
+		elem, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && elem.Kind() == types.Byte
+	}
+	return false
+}
+
+func isConstOrNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && (tv.Value != nil || tv.IsNil())
+}
+
+// sensitiveOperand returns the first operand name matching the
+// authentication-material pattern.
+func sensitiveOperand(exprs ...ast.Expr) (string, bool) {
+	for _, e := range exprs {
+		if name := operandName(e); name != "" && sensitiveNameRe.MatchString(name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// operandName digs out the innermost declared name of an expression:
+// p.MAC -> "MAC", digests[i] -> "digests", computeTag() -> "computeTag".
+func operandName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.IndexExpr:
+		return operandName(v.X)
+	case *ast.CallExpr:
+		return operandName(v.Fun)
+	case *ast.ParenExpr:
+		return operandName(v.X)
+	case *ast.StarExpr:
+		return operandName(v.X)
+	case *ast.UnaryExpr:
+		return operandName(v.X)
+	}
+	return ""
+}
+
+// isPkgFunc reports whether e resolves to the package-level function
+// pkgPath.name.
+func isPkgFunc(info *types.Info, e ast.Expr, pkgPath, name string) bool {
+	var id *ast.Ident
+	switch v := e.(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Suppression directives. A finding is silenced in place by a comment of
+// the form
+//
+//	//jrsnd:allow <check> <reason…>
+//
+// placed either at the end of the offending line or alone on the line
+// immediately above it. The reason is mandatory prose (at least two
+// words): the directive is the audit trail for why the invariant does
+// not apply at this site. Malformed directives — unknown check name,
+// missing reason — and directives that suppress nothing are themselves
+// findings under the "directive" meta-check, so a stale allow cannot
+// linger after the code it excused is gone.
+
+// directiveCheck is the meta-check name for directive hygiene findings.
+const directiveCheck = "directive"
+
+const directivePrefix = "//jrsnd:allow"
+
+type directive struct {
+	file   string
+	line   int
+	col    int
+	check  string
+	reason string
+	used   bool
+}
+
+// collectDirectives scans every comment in the package for directives.
+func collectDirectives(pkg *Package) []*directive {
+	var dirs []*directive
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other //jrsnd:allowXYZ token
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := &directive{file: pos.Filename, line: pos.Line, col: pos.Column}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.check = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// matchDirective finds a well-formed directive that covers diagnostic d:
+// same file, same check, on the finding's line or the line above.
+func matchDirective(dirs []*directive, d Diagnostic) *directive {
+	for _, dir := range dirs {
+		if dir.check != d.Check || dir.file != d.File || !wellFormed(dir) {
+			continue
+		}
+		if dir.line == d.Line || dir.line == d.Line-1 {
+			return dir
+		}
+	}
+	return nil
+}
+
+// wellFormed requires a reason of at least two words — a single token is
+// a label, not an explanation.
+func wellFormed(d *directive) bool {
+	return d.check != "" && len(strings.Fields(d.reason)) >= 2
+}
+
+// validateDirectives turns directive-hygiene violations into findings.
+// Unused-directive validation is limited to the checks actually running,
+// so a partial run (-checks) does not misreport directives owned by the
+// checks it skipped.
+func validateDirectives(dirs []*directive, running map[string]bool) []Diagnostic {
+	known := KnownChecks()
+	var out []Diagnostic
+	for _, d := range dirs {
+		diag := Diagnostic{Check: directiveCheck, File: d.file, Line: d.line, Col: d.col}
+		switch {
+		case d.check == "":
+			diag.Message = "directive needs a check name: //jrsnd:allow <check> <reason>"
+		case !known[d.check]:
+			diag.Message = "directive names unknown check " + strconv.Quote(d.check)
+		case len(strings.Fields(d.reason)) < 2:
+			diag.Message = "directive for " + d.check + " needs a written reason (at least two words)"
+		case !d.used && running[d.check]:
+			diag.Message = "unused //jrsnd:allow " + d.check + " directive suppresses nothing; delete it"
+		default:
+			continue
+		}
+		out = append(out, diag)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalrand: the chaos matrix re-runs every cell and demands
+// bit-identical outcomes, and CompromiseRandom/Join/loadgen draws are all
+// keyed to explicit seeds. Randomness drawn from math/rand's package
+// globals (seeded per process, shared across goroutines) silently breaks
+// that: two runs of the same seed diverge. Every draw must flow through
+// an injected *rand.Rand. The constructors (New, NewSource, NewZipf) are
+// exactly how such a Rand is built, so they stay legal.
+
+// globalRandFuncs are the math/rand package-level functions that consult
+// the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// globalRandV2Funcs is the math/rand/v2 equivalent (v2 has no Seed/Read;
+// N and the *N variants are the new names).
+var globalRandV2Funcs = map[string]bool{
+	"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "N": true,
+}
+
+var globalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand package-level draws; randomness must flow through an injected *rand.Rand",
+	Run: func(pass *Pass) {
+		report := func(id *ast.Ident) {
+			pass.Reportf(id.Pos(),
+				"rand.%s draws from the process-global source and breaks seeded reproducibility; thread an injected *rand.Rand", id.Name)
+		}
+		forEachPkgFuncUse(pass, "math/rand", globalRandFuncs, report)
+		forEachPkgFuncUse(pass, "math/rand/v2", globalRandV2Funcs, report)
+	},
+}

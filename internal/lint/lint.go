@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// jrsnd-lint machine-enforces the repo's prose invariants: simulator
+// determinism (no wall clocks or global randomness in the protocol
+// engine), the bounded-decode discipline of internal/wire, and
+// constant-time handling of authentication tags. Each invariant is one
+// Analyzer; a finding is either fixed or suppressed in place with a
+// reasoned //jrsnd:allow directive. See docs/static-analysis.md.
+
+// Diagnostic is one finding, anchored to a file position.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	// Reason carries the directive text for suppressed diagnostics.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Pkg   *Package
+	check string
+	out   *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.out = append(*p.out, Diagnostic{
+		Check:   p.check,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// AppliesTo scopes the check by import path; nil means every package.
+	AppliesTo func(pkgPath string) bool
+	Run       func(*Pass)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		wallclockAnalyzer,
+		globalrandAnalyzer,
+		cryptocompareAnalyzer,
+		boundedallocAnalyzer,
+		mutexaliasingAnalyzer,
+	}
+}
+
+// KnownChecks returns every valid check name, including the directive
+// meta-check, for directive validation and -checks parsing.
+func KnownChecks() map[string]bool {
+	known := map[string]bool{directiveCheck: true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// Result is one suite run over a package set.
+type Result struct {
+	Packages int `json:"packages"`
+	// Findings are active diagnostics: any entry fails the gate.
+	Findings []Diagnostic `json:"findings"`
+	// Suppressed are diagnostics matched by a //jrsnd:allow directive.
+	Suppressed []Diagnostic `json:"suppressed"`
+}
+
+// Run executes the given analyzers over the packages, applies suppression
+// directives, and validates the directives themselves.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	res := Result{Packages: len(pkgs)}
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, check: a.Name, out: &raw})
+		}
+		dirs := collectDirectives(pkg)
+		for _, d := range raw {
+			if dir := matchDirective(dirs, d); dir != nil {
+				dir.used = true
+				d.Reason = dir.reason
+				res.Suppressed = append(res.Suppressed, d)
+				continue
+			}
+			res.Findings = append(res.Findings, d)
+		}
+		res.Findings = append(res.Findings, validateDirectives(dirs, running)...)
+	}
+	sortDiags(res.Findings)
+	sortDiags(res.Suppressed)
+	return res
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}

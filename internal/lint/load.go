@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader builds fully type-checked packages using only the standard
+// library: package enumeration and import resolution are delegated to the
+// go command (`go list -json` / `go list -deps -export -json`), source is
+// parsed with go/parser, and imports are satisfied from the compiler's
+// export data via go/importer's gc lookup hook. Nothing here depends on
+// golang.org/x/tools, so go.mod stays dependency-free.
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/wire").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset is the shared position set for every file in the load.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, in filename order.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	// Info holds the type-checker's expression, definition, and use maps.
+	Info *types.Info
+}
+
+// Loader loads module packages from source with export-data imports.
+type Loader struct {
+	// ModuleRoot is the directory holding go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+	// Fset is shared by every package this loader produces.
+	Fset *token.FileSet
+
+	exports map[string]string // import path -> export data file
+	gc      types.Importer
+}
+
+// NewLoader locates the enclosing module from dir (walking up to go.mod)
+// and prepares an importer backed by compiler export data.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		Fset:       token.NewFileSet(),
+		exports:    map[string]string{},
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l, nil
+}
+
+// modulePath extracts the module path from the first `module` directive.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// goList runs the go command in the module root and decodes the JSON
+// package stream it prints.
+func (l *Loader) goList(args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleRoot
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+}
+
+// lookup feeds the gc importer the export data file for an import path,
+// resolving paths missing from the preloaded set with a one-off go list.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		pkgs, err := l.goList("list", "-export", "-json=ImportPath,Export", "--", path)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			l.exports[p.ImportPath] = p.Export
+		}
+		file = l.exports[path]
+	}
+	if file == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Import satisfies types.Importer over the export-data lookup.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.gc.Import(path)
+}
+
+// LoadPatterns loads every package the go command matches for patterns
+// (e.g. "./..."), pre-seeding export data for the whole dependency graph
+// in one child process.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	deps, err := l.goList(append([]string{"list", "-deps", "-export", "-json=ImportPath,Export,Standard", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range deps {
+		if d.Export != "" {
+			l.exports[d.ImportPath] = d.Export
+		}
+	}
+	match, err := l.goList(append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(match, func(i, j int) bool { return match[i].ImportPath < match[j].ImportPath })
+	var pkgs []*Package
+	for _, m := range match {
+		var files []string
+		for _, f := range m.GoFiles {
+			files = append(files, filepath.Join(m.Dir, f))
+		}
+		pkg, err := l.load(m.ImportPath, m.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package in dir under a caller-chosen import
+// path. Test harnesses use it to type-check testdata packages (which the
+// go command deliberately ignores) under paths that exercise the
+// analyzers' package scoping.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return l.load(asPath, dir, files)
+}
+
+// load parses and type-checks one package from explicit file paths.
+func (l *Loader) load(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-check %s: %v (and %d more)", path, typeErrs[0], len(typeErrs)-1)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// Output: the human renderer prints editor-clickable file:line:col lines
+// with the suppression recipe, the JSON renderer emits the whole Result
+// for tooling (the Makefile's summary step consumes it), and Summary is
+// the one-liner both modes end with.
+
+// Human writes findings (and, when verbose, suppressions) as
+// file:line:col diagnostics relative to root.
+func Human(w io.Writer, res Result, root string, verbose bool) {
+	for _, d := range res.Findings {
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", relPath(root, d.File), d.Line, d.Col, d.Check, d.Message)
+		if d.Check != directiveCheck {
+			fmt.Fprintf(w, "\tfix it, or suppress with a reason: //jrsnd:allow %s <why this site is exempt>\n", d.Check)
+		}
+	}
+	if verbose {
+		for _, d := range res.Suppressed {
+			fmt.Fprintf(w, "%s:%d:%d: [%s, suppressed: %s] %s\n", relPath(root, d.File), d.Line, d.Col, d.Check, d.Reason, d.Message)
+		}
+	}
+}
+
+// JSON writes the full result as one JSON object.
+func JSON(w io.Writer, res Result, root string) error {
+	out := res
+	out.Findings = relDiags(root, res.Findings)
+	out.Suppressed = relDiags(root, res.Suppressed)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Summary renders the one-line gate verdict.
+func Summary(res Result) string {
+	verdict := "clean"
+	if len(res.Findings) > 0 {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("jrsnd-lint: %s — %d packages, %d findings, %d suppressed by //jrsnd:allow",
+		verdict, res.Packages, len(res.Findings), len(res.Suppressed))
+}
+
+func relDiags(root string, ds []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(ds))
+	for i, d := range ds {
+		d.File = relPath(root, d.File)
+		out[i] = d
+	}
+	return out
+}
+
+func relPath(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return rel
+	}
+	return file
+}

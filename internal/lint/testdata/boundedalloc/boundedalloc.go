@@ -1,0 +1,52 @@
+// Golden input for the boundedalloc analyzer: allocation sizes read off
+// the wire with and without a dominating cap comparison, and bounded
+// versus unbounded io.ReadAll.
+package boundedalloc
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+type params struct{ MaxFrame int }
+
+func badDecode(b []byte) []byte {
+	n := int(binary.BigEndian.Uint16(b))
+	return make([]byte, n) // want boundedalloc "allocation size n"
+}
+
+func badTwoDim(b []byte) []uint32 {
+	count := int(b[0])
+	out := make([]uint32, 0, count) // want boundedalloc "allocation size count"
+	return out
+}
+
+func okGuarded(b []byte, budget int) []byte {
+	n := int(binary.BigEndian.Uint16(b))
+	if n > budget {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func okLenDerived(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func okCapNamed(p params) []byte { return make([]byte, p.MaxFrame) }
+
+func okConstant() []byte { return make([]byte, 64) }
+
+func badReadAll(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r) // want boundedalloc "io.ReadAll"
+}
+
+func okLimitedReadAll(r io.Reader) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(r, 1<<16))
+}
+
+func suppressed(n int) []byte {
+	return make([]byte, n) //jrsnd:allow boundedalloc n is validated by the only caller in this demo
+}

@@ -1,0 +1,46 @@
+// Golden input for the cryptocompare analyzer: variable-time comparisons
+// of values named like authentication material, against the constant-time
+// forms and the shapes the heuristic must NOT flag (constants, nil,
+// unrelated names).
+package cryptocompare
+
+import (
+	"bytes"
+	"crypto/hmac"
+)
+
+const kindAuth = 7
+
+type msg struct {
+	MAC     []byte
+	AuthTag string
+	Kind    byte
+}
+
+func badBytesEqual(mac, expect []byte) bool {
+	return bytes.Equal(mac, expect) // want cryptocompare "mac"
+}
+
+func badFieldEqual(m msg, presented string) bool {
+	return m.AuthTag == presented // want cryptocompare "AuthTag"
+}
+
+func badDigestArray(digest, sum [32]byte) bool {
+	return digest == sum // want cryptocompare "digest"
+}
+
+func okHMACEqual(mac, expect []byte) bool { return hmac.Equal(mac, expect) }
+
+func okConstantKind(m msg) bool { return m.Kind == kindAuth }
+
+func okNilCheck(mac []byte) bool { return mac == nil }
+
+func okEmptyString(tag string) bool { return tag == "" }
+
+func okUnrelatedNames(a, b string) bool { return a == b }
+
+func okUnrelatedBytes(payload, frame []byte) bool { return bytes.Equal(payload, frame) }
+
+func suppressed(tag, label string) bool {
+	return tag == label //jrsnd:allow cryptocompare client display label not authentication material
+}

@@ -1,0 +1,24 @@
+// Golden input for the directive meta-check: a one-word reason, an
+// unknown check name, a directive with no check, and a stale directive
+// that suppresses nothing. Expectations live in the golden test table
+// (this package's directives are themselves the subject, so trailing
+// want-markers would change their parse).
+package directive
+
+import "time"
+
+func badReason() time.Time {
+	return time.Now() //jrsnd:allow wallclock terse
+}
+
+func unknownCheck() {
+	_ = 1 //jrsnd:allow nosuchcheck this check does not exist anywhere
+}
+
+func staleDirective() {
+	_ = 2 //jrsnd:allow wallclock this directive suppresses nothing at all
+}
+
+func missingCheck() {
+	_ = 3 //jrsnd:allow
+}

@@ -1,0 +1,32 @@
+// Golden input for the globalrand analyzer: package-level math/rand
+// draws (v1 and v2) versus draws through an injected *rand.Rand.
+package globalrand
+
+import (
+	"math/rand"
+	v2 "math/rand/v2"
+)
+
+func bad() int {
+	return rand.Intn(10) // want globalrand "rand.Intn"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want globalrand "rand.Shuffle"
+}
+
+func badRead(buf []byte) {
+	_, _ = rand.Read(buf) // want globalrand "rand.Read"
+}
+
+func badV2() int {
+	return v2.IntN(10) // want globalrand "rand.IntN"
+}
+
+func okInjected(rng *rand.Rand) int { return rng.Intn(10) }
+
+func okConstructor() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func suppressed() float64 {
+	return rand.Float64() //jrsnd:allow globalrand demo of a reasoned suppression
+}

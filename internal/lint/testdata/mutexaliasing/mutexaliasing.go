@@ -1,0 +1,52 @@
+// Golden input for the mutexaliasing analyzer: lock-holding structs
+// passed by value and exported methods leaking guarded interiors, against
+// the copy-out-under-lock pattern.
+package mutexaliasing
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items []int
+	index map[string]int
+}
+
+type wrapper struct{ inner registry } // lock nested one level down
+
+type plain struct{ items []int } // no lock anywhere
+
+func badByValueParam(r registry) int { // want mutexaliasing "by value"
+	return len(r.items)
+}
+
+func badNestedByValue(w wrapper) int { // want mutexaliasing "by value"
+	return len(w.inner.items)
+}
+
+func (r registry) BadValueReceiver() int { // want mutexaliasing "by value"
+	return len(r.items)
+}
+
+func (r *registry) BadItems() []int {
+	return r.items // want mutexaliasing "guarded interior state"
+}
+
+func (r *registry) BadIndex() map[string]int {
+	return r.index // want mutexaliasing "guarded interior state"
+}
+
+func okByPointer(r *registry) int { return len(r.items) }
+
+func (r *registry) OKCopy() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.items...)
+}
+
+func (r *registry) interior() []int { return r.items } // unexported: callers are this package
+
+func (p *plain) Items() []int { return p.items } // no lock: aliasing is the caller's business
+
+func (r *registry) Suppressed() []int {
+	return r.items //jrsnd:allow mutexaliasing documented read-only escape in this demo package
+}

@@ -1,0 +1,39 @@
+// Golden input for the wallclock analyzer: machine-clock reads in a
+// deterministic package, the injected-clock pattern that replaces them,
+// and both directive placements (trailing and line-above).
+package wallclock
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want wallclock "time.Now"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock "time.Since"
+}
+
+func badTimers() {
+	_ = time.NewTimer(time.Second) // want wallclock "time.NewTimer"
+	<-time.After(time.Second)      // want wallclock "time.After"
+	time.Sleep(time.Millisecond)   // want wallclock "time.Sleep"
+}
+
+func badValueRef() func() time.Time {
+	return time.Now // want wallclock "time.Now"
+}
+
+func okInjected(now func() time.Time) time.Time { return now() }
+
+func okConstant() time.Duration { return 5 * time.Second }
+
+func okMethods(t0 time.Time) bool { return t0.After(time.Unix(0, 0)) }
+
+func suppressedTrailing() time.Time {
+	return time.Now() //jrsnd:allow wallclock demo of a trailing reasoned suppression
+}
+
+func suppressedAbove() time.Time {
+	//jrsnd:allow wallclock demo of a standalone directive on the line above
+	return time.Now()
+}

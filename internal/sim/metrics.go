@@ -49,14 +49,14 @@ func (m *EngineMetrics) beginRun(now Time) {
 		return
 	}
 	m.virtualStart = now
-	m.wallStart = time.Now()
+	m.wallStart = time.Now() //jrsnd:allow wallclock speedup telemetry only: the virtual/wall ratio gauge reads the real clock but never feeds simulated state
 }
 
 func (m *EngineMetrics) endRun(now Time) {
 	if m == nil {
 		return
 	}
-	wall := time.Since(m.wallStart).Seconds()
+	wall := time.Since(m.wallStart).Seconds() //jrsnd:allow wallclock speedup telemetry only: the virtual/wall ratio gauge reads the real clock but never feeds simulated state
 	if wall <= 0 {
 		return
 	}
