@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench lint
+.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench lint prof benchgate
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ tier1: build
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) authd-smoke
+	$(MAKE) benchgate
+
+# benchgate measures the hot-path benchmarks (sim scheduler, DSSS receive
+# path, authd handlers) against the checked-in BENCH_*.json baselines and
+# fails on a >2x regression. Re-baseline deliberately with
+# `go run ./cmd/jrsnd-benchgate -update`. See docs/observability.md.
+benchgate:
+	$(GO) run ./cmd/jrsnd-benchgate
 
 # lint machine-enforces the repo invariants (determinism, bounded decode,
 # constant-time compares, lock hygiene) with the stdlib-only analyzer in
@@ -47,6 +55,15 @@ authd-smoke:
 authd-bench:
 	$(GO) test -run xxx -bench 'BenchmarkProvision|BenchmarkRevoke' -benchmem ./internal/authd
 	$(GO) run ./cmd/jrsnd-authority -loadgen -n 2000 -m 16 -l 20 -requests 4000 -workers 8 -batch 2 -json BENCH_authd.json
+
+# prof profiles a chaos-matrix run end to end: CPU and heap profiles land
+# in prof/ next to one JSONL span trace per cell, ready for
+# `go tool pprof prof/cpu.out` and `jrsnd-report -trace prof/traces`.
+# See docs/observability.md.
+prof:
+	mkdir -p prof
+	$(GO) run ./cmd/jrsnd-sim -chaos -trace-jsonl prof/traces -cpuprofile prof/cpu.out -memprofile prof/heap.out
+	$(GO) run ./cmd/jrsnd-report -trace prof/traces -trace-only -folded prof/flame.folded -o prof/spans.md
 
 # fuzz runs every native fuzz target (wire decoder, handshake transcript,
 # DSSS sync window, authd request decoder) for FUZZTIME each. Out of

@@ -40,6 +40,7 @@ type options struct {
 	shards int
 	rate   float64
 	burst  int
+	pprof  bool
 
 	loadgen  bool
 	target   string
@@ -61,6 +62,7 @@ func main() {
 	flag.IntVar(&opts.shards, "shards", 0, "state shards (0 = derived from GOMAXPROCS)")
 	flag.Float64Var(&opts.rate, "rate", 0, "per-client req/s (0 = default 64, negative = unlimited)")
 	flag.IntVar(&opts.burst, "burst", 0, "per-client burst (0 = default)")
+	flag.BoolVar(&opts.pprof, "pprof", false, "mount /debug/pprof/ and fold Go runtime gauges into /metrics")
 	flag.BoolVar(&opts.loadgen, "loadgen", false, "run the load generator instead of serving")
 	flag.StringVar(&opts.target, "target", "", "loadgen target URL (empty = boot an in-process server)")
 	flag.IntVar(&opts.workers, "workers", 8, "loadgen concurrent workers")
@@ -93,11 +95,12 @@ func serverConfig(opts options) authd.Config {
 	p := analysis.Defaults()
 	p.N, p.M, p.L, p.Gamma = opts.n, opts.m, opts.l, opts.gamma
 	return authd.Config{
-		Params: p,
-		Seed:   opts.seed,
-		Shards: opts.shards,
-		Rate:   opts.rate,
-		Burst:  opts.burst,
+		Params:          p,
+		Seed:            opts.seed,
+		Shards:          opts.shards,
+		Rate:            opts.rate,
+		Burst:           opts.burst,
+		EnableProfiling: opts.pprof,
 	}
 }
 

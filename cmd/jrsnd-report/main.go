@@ -12,7 +12,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/analysis"
@@ -28,27 +27,28 @@ func main() {
 		out    = flag.String("o", "", "output file (default stdout)")
 		mfiles = flag.String("metrics", "", "comma-separated metric snapshots (from jrsnd-sim -metrics, JSON or Prometheus text) to merge into a Telemetry section")
 		monly  = flag.Bool("telemetry-only", false, "with -metrics, write only the Telemetry section and skip the experiment sweep")
+		tfiles = flag.String("trace", "", "comma-separated span-trace JSONL files or directories (from jrsnd-sim -trace-jsonl) to analyze in a Span Traces section")
+		tonly  = flag.Bool("trace-only", false, "with -trace, write only the trace-derived sections and skip the experiment sweep")
+		folded = flag.String("folded", "", "with -trace, also export aggregate folded stacks (flamegraph input) to this file")
 	)
 	flag.Parse()
-	var paths []string
-	if *mfiles != "" {
-		for _, p := range strings.Split(*mfiles, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				paths = append(paths, p)
-			}
-		}
-	}
+	paths := splitPaths(*mfiles)
+	tracePaths := splitPaths(*tfiles)
 	if *monly && len(paths) == 0 {
 		fmt.Fprintln(os.Stderr, "jrsnd-report: -telemetry-only requires -metrics")
 		os.Exit(2)
 	}
-	if err := run(*runs, *seed, *n, *out, paths, *monly); err != nil {
+	if (*tonly || *folded != "") && len(tracePaths) == 0 {
+		fmt.Fprintln(os.Stderr, "jrsnd-report: -trace-only and -folded require -trace")
+		os.Exit(2)
+	}
+	if err := run(*runs, *seed, *n, *out, paths, tracePaths, *folded, *monly || *tonly); err != nil {
 		fmt.Fprintln(os.Stderr, "jrsnd-report:", err)
 		os.Exit(1)
 	}
 }
 
-func run(runs int, seed int64, n int, out string, metricPaths []string, telemetryOnly bool) error {
+func run(runs int, seed int64, n int, out string, metricPaths, tracePaths []string, foldedPath string, sectionsOnly bool) error {
 	base := analysis.Defaults()
 	if n > 0 {
 		base.N = n
@@ -73,24 +73,47 @@ func run(runs int, seed int64, n int, out string, metricPaths []string, telemetr
 		}
 		telemetry = &agg
 	}
-	if telemetryOnly {
-		return writeTelemetry(w, *telemetry, metricPaths)
+	// Load traces (and fail on bad paths) before the long sweep.
+	var traces []traceFile
+	if len(tracePaths) > 0 {
+		files, err := expandTracePaths(tracePaths)
+		if err != nil {
+			return err
+		}
+		if traces, err = loadTraces(files); err != nil {
+			return err
+		}
 	}
-	report, err := experiment.BuildReport(experiment.SweepConfig{
-		Base:   base,
-		Runs:   runs,
-		Seed:   seed,
-		Jammer: experiment.JamReactive,
-	})
-	if err != nil {
-		return err
-	}
-	if err := experiment.WriteMarkdown(w, report); err != nil {
-		return err
+	var report experiment.Report
+	if !sectionsOnly {
+		var err error
+		report, err = experiment.BuildReport(experiment.SweepConfig{
+			Base:   base,
+			Runs:   runs,
+			Seed:   seed,
+			Jammer: experiment.JamReactive,
+		})
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteMarkdown(w, report); err != nil {
+			return err
+		}
 	}
 	if telemetry != nil {
 		if err := writeTelemetry(w, *telemetry, metricPaths); err != nil {
 			return err
+		}
+	}
+	if len(traces) > 0 {
+		if err := writeSpanReport(w, traces); err != nil {
+			return err
+		}
+		if foldedPath != "" {
+			if err := writeFoldedFile(foldedPath, traces); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "folded stacks -> %s\n", foldedPath)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "report built in %v\n", time.Since(start).Round(time.Second))

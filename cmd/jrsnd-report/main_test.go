@@ -17,7 +17,7 @@ func TestRunScaledDown(t *testing.T) {
 	// n=400 keeps the pass fast; some absolute-anchor claims are tuned to
 	// n=2000 and may fail at this scale, which run() reports as an error —
 	// accept either outcome but require the report file to be complete.
-	err := run(1, 1, 400, out, nil, false)
+	err := run(1, 1, 400, out, nil, nil, "", false)
 	data, readErr := os.ReadFile(out)
 	if readErr != nil {
 		t.Fatalf("report not written: %v (run err: %v)", readErr, err)
@@ -32,7 +32,7 @@ func TestRunScaledDown(t *testing.T) {
 
 func TestRunRejectsBadOutput(t *testing.T) {
 	// The output file opens before the evaluation, so this fails fast.
-	if err := run(1, 1, 400, "/nonexistent-dir/x/report.md", nil, false); err == nil {
+	if err := run(1, 1, 400, "/nonexistent-dir/x/report.md", nil, nil, "", false); err == nil {
 		t.Fatal("accepted unwritable output path")
 	}
 }
@@ -69,7 +69,7 @@ func TestTelemetryMerge(t *testing.T) {
 	jf.Close()
 
 	out := filepath.Join(dir, "telemetry.md")
-	if err := run(1, 1, 400, out, []string{promPath, jsonPath}, true); err != nil {
+	if err := run(1, 1, 400, out, []string{promPath, jsonPath}, nil, "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Span-trace analysis: reconstruct the causal span forests written by
+// jrsnd-sim (-trace-jsonl, including the per-cell directories of -chaos
+// runs), attribute handshake latency per phase, pull out per-handshake
+// critical paths, and export flamegraph-compatible folded stacks.
+
+// traceFile is one loaded JSONL trace stream.
+type traceFile struct {
+	Path   string
+	Events int
+	Forest *trace.Forest
+}
+
+// expandTracePaths resolves each -trace argument: a directory contributes
+// every *.jsonl inside it (sorted), anything else is taken as a file.
+func expandTracePaths(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "*.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: no *.jsonl trace files", a)
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	return out, nil
+}
+
+// loadTraces reads and reconstructs every trace file. Each file is built
+// into its own forest: virtual time and span IDs restart per stream (one
+// chaos cell, one instrumented run), so streams must not be merged at the
+// event level.
+func loadTraces(paths []string) ([]traceFile, error) {
+	out := make([]traceFile, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		events, err := trace.ReadJSONL(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, traceFile{Path: p, Events: len(events), Forest: trace.BuildSpans(events)})
+	}
+	return out, nil
+}
+
+// criticalPath flattens a handshake's span subtree into time order: the
+// attempt root plus every descendant, which for the D-NDP pipeline reads
+// as the phase-by-phase story of where the handshake's latency went.
+func criticalPath(root *trace.Span) []*trace.Span {
+	var out []*trace.Span
+	var walk func(s *trace.Span)
+	walk = func(s *trace.Span) {
+		out = append(out, s)
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// slowestCompletedAttempt finds the completed D-NDP attempt with the
+// largest duration across all files — the most informative single
+// handshake to narrate — and the file it came from.
+func slowestCompletedAttempt(files []traceFile) (*trace.Span, string) {
+	var best *trace.Span
+	bestFile := ""
+	for _, tf := range files {
+		for _, a := range tf.Forest.Named("dndp.attempt") {
+			if a.Open {
+				continue
+			}
+			if best == nil || a.Duration() > best.Duration() {
+				best, bestFile = a, tf.Path
+			}
+		}
+	}
+	return best, bestFile
+}
+
+// writeSpanReport renders the Span Traces markdown section: health
+// warnings (truncated or unbalanced traces), the aggregate per-phase
+// latency breakdown, and the critical path of the slowest completed
+// handshake.
+func writeSpanReport(w io.Writer, files []traceFile) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "\n## Span traces\n\n")
+	forests := make([]*trace.Forest, len(files))
+	totalEvents, totalSpans := 0, 0
+	for i, tf := range files {
+		forests[i] = tf.Forest
+		totalEvents += tf.Events
+		totalSpans += len(tf.Forest.ByID)
+	}
+	fmt.Fprintf(bw, "%d trace file(s), %d events, %d spans reconstructed.\n\n",
+		len(files), totalEvents, totalSpans)
+
+	// Trace-health warnings. Orphan ends prove the stream lost its head
+	// (a bounded Recorder evicted the start events); open spans are
+	// legitimate protocol outcomes (jam-destroyed handshakes, crashed
+	// nodes) but also what a truncated tail looks like, so both surface.
+	for _, tf := range files {
+		if tf.Forest.OrphanEnds > 0 {
+			fmt.Fprintf(bw, "**WARNING**: `%s` has %d span end(s) without a start — "+
+				"the trace was truncated (events dropped from a bounded recorder); "+
+				"durations below undercount.\n\n", tf.Path, tf.Forest.OrphanEnds)
+		}
+	}
+	if open := countOpen(files); open > 0 {
+		fmt.Fprintf(bw, "%d span(s) never ended (jam-destroyed handshakes, crashed "+
+			"nodes, or a truncated trace tail); their durations are clamped to "+
+			"the last event time of their stream.\n\n", open)
+	}
+
+	// Per-phase latency breakdown, aggregated across every file.
+	phases := trace.Phases(forests...)
+	if len(phases) == 0 {
+		fmt.Fprintf(bw, "No spans found — was the trace recorded with span "+
+			"instrumentation enabled?\n")
+		return bw.Flush()
+	}
+	fmt.Fprintf(bw, "| phase | count | open | total (s) | mean (s) | p50 (s) | p95 (s) | max (s) |\n")
+	fmt.Fprintf(bw, "|---|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, p := range phases {
+		fmt.Fprintf(bw, "| `%s` | %d | %d | %.4g | %.4g | %.4g | %.4g | %.4g |\n",
+			p.Name, p.Count, p.Open, p.Total, p.Mean(), p.P50, p.P95, p.Max)
+	}
+	fmt.Fprintln(bw)
+
+	// Critical path of the slowest completed handshake: the per-phase
+	// story of a single discovery, worst case first.
+	if attempt, path := slowestCompletedAttempt(files); attempt != nil {
+		fmt.Fprintf(bw, "Critical path of the slowest completed handshake "+
+			"(node %d → %d, %.4gs, `%s`):\n\n", attempt.Node, attempt.Peer, attempt.Duration(), path)
+		fmt.Fprintf(bw, "| phase | start (s) | end (s) | duration (s) | outcome |\n")
+		fmt.Fprintf(bw, "|---|---:|---:|---:|---|\n")
+		for _, s := range criticalPath(attempt) {
+			outcome := s.EndDetail
+			if s.Open {
+				outcome = "(never ended)"
+			}
+			fmt.Fprintf(bw, "| `%s` | %.4g | %.4g | %.4g | %s |\n",
+				s.Name, s.Start, s.End, s.Duration(), outcome)
+		}
+		fmt.Fprintln(bw)
+	} else {
+		fmt.Fprintf(bw, "No completed `dndp.attempt` span found — every traced "+
+			"handshake was destroyed or the trace predates span instrumentation.\n\n")
+	}
+	return bw.Flush()
+}
+
+func countOpen(files []traceFile) int {
+	n := 0
+	for _, tf := range files {
+		n += tf.Forest.Open
+	}
+	return n
+}
+
+// writeFoldedFile exports the aggregate folded-stack flamegraph input.
+func writeFoldedFile(path string, files []traceFile) error {
+	forests := make([]*trace.Forest, len(files))
+	for i, tf := range files {
+		forests[i] = tf.Forest
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = trace.WriteFolded(f, forests...)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// splitPaths parses a comma-separated path list flag.
+func splitPaths(flagVal string) []string {
+	var out []string
+	for _, p := range strings.Split(flagVal, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

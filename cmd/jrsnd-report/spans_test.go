@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// traceOneChaosCell runs one cell of the chaos fault matrix with span
+// tracing and returns the directory holding its JSONL trace — the same
+// shape `jrsnd-sim -chaos -trace-jsonl <dir>` produces.
+func traceOneChaosCell(t *testing.T, cell faults.Cell) string {
+	t.Helper()
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "cell.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw := trace.NewJSONLWriter(f)
+	res, err := faults.RunCellTraced(cell, 1, jw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("chaos cell %s failed under tracing: %+v", cell.Name, res)
+	}
+	return dir
+}
+
+// TestSpanReportFromChaosRun is the acceptance path of the observability
+// issue: a chaos-matrix cell's span trace must reconstruct per-handshake
+// critical paths into a per-phase latency breakdown plus a
+// flamegraph-compatible folded-stack export.
+func TestSpanReportFromChaosRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos cell is slow")
+	}
+	// The adversarial cell exercises the deepest pipeline: jamming forces
+	// retries, so attempts, sweeps, and verify phases all appear.
+	dir := traceOneChaosCell(t, faults.Cell{Name: "jam=sweep/churn=false/loss=0.00", Jammer: core.JamSweep})
+
+	out := filepath.Join(t.TempDir(), "spans.md")
+	folded := filepath.Join(t.TempDir(), "flame.folded")
+	if err := run(1, 1, 0, out, nil, []string{dir}, folded, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "## Span traces") {
+		t.Fatalf("missing Span traces section:\n%s", text)
+	}
+	// Per-phase latency breakdown over the handshake pipeline.
+	for _, phase := range []string{"`sim.run`", "`dndp.attempt`", "`dndp.hello_sweep`"} {
+		if !strings.Contains(text, phase) {
+			t.Fatalf("phase table missing %s:\n%s", phase, text)
+		}
+	}
+	// At least one handshake's critical path, phase by phase.
+	if !strings.Contains(text, "Critical path of the slowest completed handshake") {
+		t.Fatalf("missing critical-path reconstruction:\n%s", text)
+	}
+
+	fdata, err := os.ReadFile(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftext := string(fdata)
+	if !strings.Contains(ftext, "sim.run;dndp.attempt") {
+		t.Fatalf("folded stacks missing the attempt path:\n%s", ftext)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(ftext), "\n") {
+		if !strings.Contains(line, " ") {
+			t.Fatalf("malformed folded line %q", line)
+		}
+	}
+}
+
+// TestSpanReportWarnsOnTruncatedTrace: orphaned span ends (the start fell
+// out of a bounded recorder) must surface as an explicit warning.
+func TestSpanReportWarnsOnTruncatedTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "truncated.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw := trace.NewJSONLWriter(f)
+	// An end without its start: the signature of a ring-evicted head.
+	jw.Emit(trace.Event{At: 1.5, Kind: trace.KindSpanEnd, Node: 0, Peer: 1, Span: 42})
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := filepath.Join(dir, "out.md")
+	if err := run(1, 1, 0, out, nil, []string{path}, "", true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "WARNING") || !strings.Contains(string(data), "truncated") {
+		t.Fatalf("no truncation warning for an orphaned span end:\n%s", data)
+	}
+}
+
+func TestExpandTracePathsRejectsEmptyDir(t *testing.T) {
+	if _, err := expandTracePaths([]string{t.TempDir()}); err == nil {
+		t.Fatal("accepted a directory with no trace files")
+	}
+	if _, err := expandTracePaths([]string{"/nonexistent/trace.jsonl"}); err == nil {
+		t.Fatal("accepted a missing path")
+	}
+}

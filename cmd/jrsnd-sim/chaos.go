@@ -3,10 +3,14 @@ package main
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/faults"
+	"repro/internal/trace"
 )
 
 // chaosCells selects the fault matrix for the -chaos/-adversary flag pair:
@@ -27,18 +31,35 @@ func chaosCells(adversaryFlag string) ([]faults.Cell, error) {
 }
 
 // runChaos executes the given fault matrix and prints one line per cell.
-// The returned count is the number of failed cells (invariant violations
-// plus non-deterministic replays); the caller maps it to the exit code.
-func runChaos(w io.Writer, seed int64, cells []faults.Cell) (int, error) {
+// With a non-empty traceDir, each cell's first determinism run streams its
+// protocol trace to <traceDir>/<cell>.jsonl (virtual time restarts per
+// cell, so each cell gets its own file rather than one interleaved
+// stream). The returned count is the number of failed cells (invariant
+// violations plus non-deterministic replays); the caller maps it to the
+// exit code.
+func runChaos(w io.Writer, seed int64, cells []faults.Cell, traceDir string) (int, error) {
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return 0, err
+		}
+	}
 	fmt.Fprintf(w, "chaos: %d-cell fault matrix (jammer × churn × loss × adversary), seed %d\n\n", len(cells), seed)
 	fmt.Fprintf(w, "  %-34s %10s %8s %s\n", "cell", "discovered", "determ.", "violations")
 	start := time.Now()
 	failed := 0
-	results, err := faults.RunMatrix(cells, seed)
-	if err != nil {
-		return 0, err
-	}
-	for _, r := range results {
+	for _, cell := range cells {
+		var (
+			r   faults.CellResult
+			err error
+		)
+		if traceDir != "" {
+			r, err = runCellTracedToFile(cell, seed, filepath.Join(traceDir, cellFileName(cell.Name)))
+		} else {
+			r, err = faults.RunCell(cell, seed)
+		}
+		if err != nil {
+			return 0, err
+		}
 		status := "ok"
 		if len(r.Violations) > 0 {
 			status = fmt.Sprintf("%d", len(r.Violations))
@@ -51,6 +72,35 @@ func runChaos(w io.Writer, seed int64, cells []faults.Cell) (int, error) {
 			}
 		}
 	}
-	fmt.Fprintf(w, "\n%d/%d cells passed in %v\n", len(results)-failed, len(results), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(w, "\n%d/%d cells passed in %v\n", len(cells)-failed, len(cells), time.Since(start).Round(time.Millisecond))
+	if traceDir != "" {
+		fmt.Fprintf(w, "traces: one JSONL file per cell in %s\n", traceDir)
+	}
 	return failed, nil
+}
+
+// runCellTracedToFile runs one cell with its first determinism run
+// streaming trace events to path.
+func runCellTracedToFile(cell faults.Cell, seed int64, path string) (faults.CellResult, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return faults.CellResult{}, err
+	}
+	jw := trace.NewJSONLWriter(f)
+	res, runErr := faults.RunCellTraced(cell, seed, jw)
+	err = jw.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if runErr != nil {
+		return faults.CellResult{}, runErr
+	}
+	return res, err
+}
+
+// cellFileName maps a cell name like "jam=sweep/churn=true/loss=0.15" to a
+// filesystem-safe trace file name.
+func cellFileName(name string) string {
+	r := strings.NewReplacer("/", "_", "=", "-")
+	return r.Replace(name) + ".jsonl"
 }

@@ -16,6 +16,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,6 +29,13 @@ import (
 )
 
 func main() {
+	os.Exit(mainRun())
+}
+
+// mainRun parses flags, dispatches the selected mode, and returns the
+// process exit code. It exists (instead of os.Exit calls inline) so the
+// profile teardown deferred below always runs.
+func mainRun() int {
 	var (
 		exp     = flag.String("exp", "all", "experiment id (table1, fig2a..fig5b, dsss, dos, all)")
 		runs    = flag.Int("runs", 100, "Monte-Carlo runs per parameter point")
@@ -39,62 +48,110 @@ func main() {
 		q       = flag.Int("q", -1, "override compromised-node count (with -point)")
 		list    = flag.Bool("list", false, "list the available experiment ids and exit")
 		mfile   = flag.String("metrics", "", "run one instrumented protocol-engine deployment and write the metric snapshot here (.json for JSON, anything else for Prometheus text)")
-		tfile   = flag.String("trace-jsonl", "", "with an instrumented deployment, stream protocol trace events to this JSONL file")
+		tfile   = flag.String("trace-jsonl", "", "stream protocol trace events as JSONL: a file for an instrumented deployment, a directory (one file per cell) with -chaos")
 		chaos   = flag.Bool("chaos", false, "run the fault matrix (jammer × churn × loss × adversary) with invariant checking; exits non-zero on any violation")
 		adv     = flag.String("adversary", "", "with -chaos: restrict the matrix to one Byzantine behavior (replay, forge, bitflip, flood)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
 	if *list {
 		for _, id := range experimentIDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
+		return 1
+	}
+	defer stopProf()
 	if *adv != "" && !*chaos {
 		fmt.Fprintln(os.Stderr, "jrsnd-sim: -adversary requires -chaos")
-		os.Exit(2)
+		return 2
 	}
 	if *chaos {
 		// The chaos harness fixes its own deployment and adversaries; the
-		// experiment-selection flags cannot apply.
-		if *point || *mfile != "" || *tfile != "" || *n != 0 || *q != -1 {
-			fmt.Fprintln(os.Stderr, "jrsnd-sim: -chaos cannot be combined with -point, -metrics, -trace-jsonl, -n, or -q")
-			os.Exit(2)
+		// experiment-selection flags cannot apply. -trace-jsonl is
+		// reinterpreted as a directory: one JSONL trace per cell.
+		if *point || *mfile != "" || *n != 0 || *q != -1 {
+			fmt.Fprintln(os.Stderr, "jrsnd-sim: -chaos cannot be combined with -point, -metrics, -n, or -q")
+			return 2
 		}
 		cells, err := chaosCells(*adv)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
-			os.Exit(2)
+			return 2
 		}
-		violations, err := runChaos(os.Stdout, *seed, cells)
+		violations, err := runChaos(os.Stdout, *seed, cells, *tfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
-			os.Exit(1)
+			return 1
 		}
 		if violations > 0 {
 			fmt.Fprintf(os.Stderr, "jrsnd-sim: %d invariant violations\n", violations)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *mfile != "" || *tfile != "" {
 		if err := runInstrumented(*mfile, *tfile, *seed, *jammer, *n, *q); err != nil {
 			fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *point {
 		if err := runPoint(*runs, *seed, *jammer, *n, *q); err != nil {
 			fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if err := run(*exp, *runs, *seed, *jammer, *iterate, *n, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "jrsnd-sim:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// startProfiles arms the optional -cpuprofile/-memprofile outputs. The
+// returned stop function ends CPU profiling and snapshots the heap; it is
+// safe to call when neither profile was requested.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile -> %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jrsnd-sim: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jrsnd-sim: memprofile:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "heap profile -> %s\n", memPath)
+		}
+	}, nil
 }
 
 func run(exp string, runs int, seed int64, jammer string, iterate bool, n int, csvDir string) error {

@@ -160,7 +160,7 @@ func TestRunChaosMatrixPasses(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	failed, err := runChaos(&sb, 1, cells)
+	failed, err := runChaos(&sb, 1, cells, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/codepool"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Service-level error taxonomy, on top of the decode taxonomy in codec.go.
@@ -82,6 +83,16 @@ type Config struct {
 	// Limits bounds request decoding; the zero value derives caps from
 	// Params via LimitsFromParams.
 	Limits Limits
+	// Trace, when set, receives one span per handled request
+	// ("authd.<route>", timestamped in seconds since server start), so the
+	// service's request handling joins the same causal-span model the
+	// protocol engine uses.
+	Trace trace.Sink
+	// EnableProfiling mounts net/http/pprof under /debug/pprof/ and folds
+	// Go runtime gauges (goroutines, heap, GC pauses) into /metrics at
+	// scrape time. Off by default: profiling endpoints are diagnostic
+	// surface and ReadMemStats stops the world.
+	EnableProfiling bool
 
 	// now is the wall clock, injectable for rate-limiter tests.
 	now func() time.Time
@@ -109,8 +120,11 @@ type Server struct {
 	// concurrent provisions can never hand out overlapping slot ranges.
 	nextSlot atomic.Int64
 
-	m   *serverMetrics
-	mux *http.ServeMux
+	m      *serverMetrics
+	mux    *http.ServeMux
+	tracer *trace.Tracer             // nil when cfg.Trace is nil
+	rc     *metrics.RuntimeCollector // nil unless cfg.EnableProfiling
+	start  time.Time                 // span-timestamp epoch
 
 	httpSrv  *http.Server
 	inflight sync.WaitGroup
@@ -175,6 +189,11 @@ func New(cfg Config) (*Server, error) {
 		rev:     rev,
 		reg:     newRegistry(cfg.Shards),
 		m:       newServerMetrics(cfg.Metrics),
+		tracer:  trace.NewTracer(cfg.Trace),
+		start:   cfg.now(),
+	}
+	if cfg.EnableProfiling {
+		s.rc = metrics.NewRuntimeCollector(cfg.Metrics)
 	}
 	if cfg.Rate > 0 {
 		s.rl = newLimiter(cfg.Shards, cfg.Rate, cfg.Burst, cfg.now)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"repro/internal/codepool"
@@ -80,6 +81,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/node", s.handle("node", http.MethodGet, false, s.handleNode))
 	s.mux.HandleFunc("/healthz", s.handle("healthz", http.MethodGet, false, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.handle("metrics", http.MethodGet, false, s.handleMetrics))
+	if s.cfg.EnableProfiling {
+		// Continuous-profiling surface, opt-in: the default mux is never
+		// used, so the stdlib's side-effect registration does not apply and
+		// the handlers are mounted explicitly.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // handlerFunc is the inner handler shape: the decoded body is handed in,
@@ -114,6 +125,14 @@ func (s *Server) handle(route, method string, limited bool, fn handlerFunc) http
 		defer s.m.inflight.Add(-1)
 		start := s.cfg.now()
 		s.m.requests[route].Inc()
+		if s.tracer != nil {
+			// One span per request, timestamped in seconds since server
+			// start so the stream stays near-monotonic for JSONL sinks.
+			sp := s.tracer.Start(start.Sub(s.start).Seconds(), 0, -1, -1, "authd."+route)
+			defer func() {
+				s.tracer.End(s.cfg.now().Sub(s.start).Seconds(), sp, -1, -1, "")
+			}()
+		}
 
 		if r.Method != method {
 			w.Header().Set("Allow", method)
@@ -254,6 +273,7 @@ func (s *Server) handleHealthz(_ *http.Request, _ []byte) (int, any, error) {
 }
 
 func (s *Server) handleMetrics(_ *http.Request, _ []byte) (int, any, error) {
+	s.rc.Collect() // nil (profiling off) is a no-op
 	var buf bytes.Buffer
 	if err := metrics.WritePrometheus(&buf, s.cfg.Metrics.Snapshot()); err != nil {
 		return 0, nil, err

@@ -1,0 +1,87 @@
+package authd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRequestSpans: with a trace sink configured, every handled request
+// must leave one closed "authd.<route>" span, including error paths
+// (method-not-allowed still closes its span).
+func TestRequestSpans(t *testing.T) {
+	rec, err := trace.NewRecorder(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Params: testParams(16, 4, 4), Seed: 3, Rate: -1, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	do := func(method, path, body string) {
+		var req *http.Request
+		if body != "" {
+			req = httptest.NewRequest(method, path, strings.NewReader(body))
+		} else {
+			req = httptest.NewRequest(method, path, nil)
+		}
+		w := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(w, req)
+	}
+	do(http.MethodPost, "/v1/provision", `{"count":1}`)
+	do(http.MethodGet, "/v1/epoch", "")
+	do(http.MethodGet, "/v1/provision", "") // 405: span must still close
+
+	f := trace.BuildSpans(rec.Events())
+	if n := len(f.Named("authd.provision")); n != 2 {
+		t.Fatalf("got %d authd.provision spans, want 2 (one OK, one 405)", n)
+	}
+	if n := len(f.Named("authd.epoch")); n != 1 {
+		t.Fatalf("got %d authd.epoch spans, want 1", n)
+	}
+	if f.Open != 0 || f.OrphanEnds != 0 {
+		t.Fatalf("unbalanced request spans: open=%d orphans=%d", f.Open, f.OrphanEnds)
+	}
+	for _, sp := range f.Roots {
+		if sp.Duration() < 0 {
+			t.Fatalf("span %s has negative duration %v", sp.Name, sp.Duration())
+		}
+	}
+}
+
+// TestProfilingSurface: EnableProfiling must mount /debug/pprof/ and fold
+// runtime gauges into /metrics; without it both stay absent.
+func TestProfilingSurface(t *testing.T) {
+	get := func(s *Server, path string) (int, string) {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w.Code, w.Body.String()
+	}
+
+	on, err := New(Config{Params: testParams(16, 4, 4), Seed: 3, Rate: -1, EnableProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(on, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ with profiling on = %d, want 200", code)
+	}
+	if code, body := get(on, "/metrics"); code != http.StatusOK || !strings.Contains(body, "jrsnd_go_goroutines") {
+		t.Fatalf("profiling-on /metrics (status %d) missing jrsnd_go_goroutines:\n%s", code, body)
+	}
+
+	off, err := New(Config{Params: testParams(16, 4, 4), Seed: 3, Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(off, "/debug/pprof/"); code == http.StatusOK {
+		t.Fatal("GET /debug/pprof/ must 404 when profiling is off")
+	}
+	if _, body := get(off, "/metrics"); strings.Contains(body, "jrsnd_go_goroutines") {
+		t.Fatal("runtime gauges must not register when profiling is off")
+	}
+}

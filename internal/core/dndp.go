@@ -5,6 +5,7 @@ import (
 	"repro/internal/ibc"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // D-NDP — the direct neighbor-discovery protocol of §V-B.
@@ -58,11 +59,17 @@ func (nd *Node) initiateDNDP() {
 		return
 	}
 	now := nd.net.engine.Now()
+	if prev := nd.initiator; prev != nil {
+		// A fresh round supersedes the previous one (retry/backoff); its
+		// attempt span ends here rather than dangling forever.
+		nd.net.spanEnd(prev.attemptSpan, nd.index, -1, "superseded by new attempt")
+	}
 	nd.initiator = &dndpInitiatorState{
 		nonce:     nd.newNonce(),
 		startedAt: now,
 		peers:     map[ibc.NodeID]*dndpInitiatorPeer{},
 	}
+	nd.initiator.attemptSpan = nd.net.spanStart(nd.net.engine.RunSpan(), nd.index, -1, "dndp.attempt")
 	if _, ok := nd.net.initTime[nd.id]; !ok {
 		nd.net.initTime[nd.id] = now
 	}
@@ -71,6 +78,14 @@ func (nd *Node) initiateDNDP() {
 	p := nd.net.params
 	helloBits := p.LenType + p.LenID
 	th := sim.Time(p.THello())
+	// The sweep span covers the sequential m-slot HELLO broadcast (the
+	// code-assignment phase); its end rides a dedicated timer so it closes
+	// even if the node goes down mid-sweep.
+	if sweep := nd.net.spanStart(nd.initiator.attemptSpan, nd.index, -1, "dndp.hello_sweep"); sweep != 0 {
+		nd.net.engine.MustSchedule(sim.Time(len(nd.codes))*th, func() {
+			nd.net.spanEnd(sweep, nd.index, -1, "")
+		})
+	}
 	for i, c := range nd.codes {
 		if nd.revoker.Revoked(c) {
 			continue
@@ -147,6 +162,7 @@ func (nd *Node) onHello(from int, msg radio.Message) {
 	if sweep := sim.Time(float64(nd.net.params.M) * nd.net.params.THello()); delay < sweep {
 		delay = sweep
 	}
+	rs.bufferSpan = nd.net.spanStart(nd.net.attemptSpanOf(initiator), nd.index, int(initiator), "dndp.hello_buffer")
 	nd.net.engine.MustSchedule(delay, func() { nd.sendConfirm(initiator) })
 }
 
@@ -154,10 +170,20 @@ func (nd *Node) onHello(from int, msg radio.Message) {
 // (redundancy design) or on a single random one when the ablation switch
 // disables redundancy.
 func (nd *Node) sendConfirm(initiator ibc.NodeID) {
+	rs := nd.responders[initiator]
+	if rs != nil && rs.bufferSpan != 0 {
+		detail := ""
+		if nd.down {
+			detail = "down"
+		} else if rs.accepted {
+			detail = "already accepted"
+		}
+		nd.net.spanEnd(rs.bufferSpan, nd.index, int(initiator), detail)
+		rs.bufferSpan = 0
+	}
 	if nd.down {
 		return
 	}
-	rs := nd.responders[initiator]
 	if rs == nil || rs.accepted {
 		return
 	}
@@ -218,6 +244,7 @@ func (nd *Node) onConfirm(msg radio.Message) {
 	}
 	peer.scheduled = true
 	responder := p.Responder
+	peer.prepSpan = nd.net.spanStart(st.attemptSpan, nd.index, int(responder), "dndp.auth1_prep")
 	nd.net.engine.MustSchedule(nd.confirmProcDelay()+nd.keyDelay(), func() {
 		nd.sendAuth1(responder)
 	})
@@ -226,11 +253,18 @@ func (nd *Node) onConfirm(msg radio.Message) {
 // sendAuth1 computes K_AB and transmits {ID_A, n_A, f_K(ID_A|n_A)} on every
 // confirmed code.
 func (nd *Node) sendAuth1(responder ibc.NodeID) {
-	if nd.down {
-		return
-	}
 	st := nd.initiator
-	if st == nil {
+	if st != nil {
+		if peer := st.peers[responder]; peer != nil && peer.prepSpan != 0 {
+			detail := ""
+			if nd.down {
+				detail = "down"
+			}
+			nd.net.spanEnd(peer.prepSpan, nd.index, int(responder), detail)
+			peer.prepSpan = 0
+		}
+	}
+	if nd.down || st == nil {
 		return
 	}
 	peer := st.peers[responder]
@@ -302,15 +336,20 @@ func (nd *Node) onAuth1(from int, msg radio.Message) {
 	sender := p.Sender
 	payload := p
 	code := msg.Code
-	nd.net.engine.MustSchedule(delay, func() { nd.verifyAuth1(sender, payload, code) })
+	// The verify span covers the key-derivation delay plus the MAC check;
+	// verifyAuth1 closes it on every outcome.
+	sp := nd.net.spanStart(nd.net.attemptSpanOf(sender), nd.index, int(sender), "dndp.auth1_verify")
+	nd.net.engine.MustSchedule(delay, func() { nd.verifyAuth1(sender, payload, code, sp) })
 }
 
-func (nd *Node) verifyAuth1(sender ibc.NodeID, p authPayload, code codepool.CodeID) {
+func (nd *Node) verifyAuth1(sender ibc.NodeID, p authPayload, code codepool.CodeID, sp trace.SpanID) {
 	if nd.down {
+		nd.net.spanEnd(sp, nd.index, int(sender), "down")
 		return
 	}
 	rs := nd.responders[sender]
 	if rs == nil {
+		nd.net.spanEnd(sp, nd.index, int(sender), "reaped")
 		return
 	}
 	if !rs.haveKey {
@@ -322,8 +361,10 @@ func (nd *Node) verifyAuth1(sender ibc.NodeID, p authPayload, code codepool.Code
 	if !ibc.VerifyMAC(rs.key, p.MAC, idBytes(sender), p.Nonce) {
 		nd.stats.MACFailures++
 		nd.reportInvalid(code)
+		nd.net.spanEnd(sp, nd.index, int(sender), "mac invalid")
 		return
 	}
+	nd.net.spanEnd(sp, nd.index, int(sender), "verified")
 	// The MAC checks out: remember the nonce so a recording of this frame
 	// reinjected later (after this handshake record is reaped) is
 	// recognized as a replay instead of re-opening the handshake.
@@ -339,6 +380,12 @@ func (nd *Node) verifyAuth1(sender ibc.NodeID, p authPayload, code codepool.Code
 		return
 	}
 	rs.auth2Codes[code] = true
+	if rs.confirmSpan == 0 {
+		// The confirm span tracks the AUTH2 in flight across nodes: it
+		// closes only when the initiator renders a verdict, so one left
+		// open is a handshake the jammer destroyed on the last message.
+		rs.confirmSpan = nd.net.spanStart(nd.net.attemptSpanOf(sender), nd.index, int(sender), "dndp.confirm")
+	}
 	params := nd.net.params
 	mac := ibc.MAC(rs.key, params.LenMAC/8, idBytes(nd.id), rs.nonce)
 	_ = nd.net.send(nd.index, -1, radio.Message{
@@ -376,9 +423,11 @@ func (nd *Node) onAuth2(msg radio.Message) {
 	if !ibc.VerifyMAC(peer.key, p.MAC, idBytes(p.Sender), p.Nonce) {
 		nd.stats.MACFailures++
 		nd.reportInvalid(msg.Code)
+		nd.net.endConfirmSpan(p.Sender, nd.id, "mac invalid")
 		return
 	}
 	peer.done = true
+	nd.net.endConfirmSpan(p.Sender, nd.id, "discovered")
 	nd.acceptNeighbor(p.Sender, ViaDNDP, peer.key)
 }
 

@@ -196,7 +196,11 @@ func (nd *Node) onMNDPRequest(from int, msg radio.Message) {
 	nd.seenRequests[key] = true
 	// Verify the whole signature chain (t_ver each), then continue.
 	k := len(req.Hops)
-	nd.net.engine.MustSchedule(nd.verDelay(k), func() { nd.processRequest(req) })
+	sp := nd.net.spanStart(nd.net.engine.RunSpan(), nd.index, int(origin), "mndp.verify")
+	nd.net.engine.MustSchedule(nd.verDelay(k), func() {
+		nd.net.spanEnd(sp, nd.index, int(origin), "")
+		nd.processRequest(req)
+	})
 }
 
 func (nd *Node) processRequest(req mndpRequest) {
@@ -269,8 +273,12 @@ func (nd *Node) respondToRequest(req mndpRequest) {
 	for i := len(req.Hops) - 1; i >= 1; i-- {
 		resp.ReturnRoute = append(resp.ReturnRoute, req.Hops[i].ID)
 	}
+	// The respond span covers key derivation plus signing until the signed
+	// response leaves the radio.
+	sp := nd.net.spanStart(nd.net.engine.RunSpan(), nd.index, int(origin), "mndp.respond")
 	nd.net.engine.MustSchedule(nd.keyDelay()+nd.sigDelay(), func() {
 		if nd.down {
+			nd.net.spanEnd(sp, nd.index, int(origin), "down")
 			return
 		}
 		key := nd.priv.SharedKey(origin)
@@ -291,6 +299,7 @@ func (nd *Node) respondToRequest(req mndpRequest) {
 			PayloadBits: nd.responseBits(resp),
 			Payload:     resp,
 		})
+		nd.net.spanEnd(sp, nd.index, int(origin), "responded")
 		if nd.net.cfg.AcceptWithoutBeacon {
 			nd.acceptNeighbor(origin, ViaMNDP, key)
 			delete(nd.mndpIn, origin)

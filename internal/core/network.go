@@ -147,9 +147,10 @@ type Network struct {
 	graph     *field.Graph
 	nodes     []*Node
 	jammer    radio.Jammer
-	sink      trace.Sink   // normalized from cfg.Trace; nil when tracing is off
-	m         *coreMetrics // nil when cfg.Metrics is nil
-	limits    wire.Limits  // frame codec caps, derived from Params
+	sink      trace.Sink    // normalized from cfg.Trace; nil when tracing is off
+	tracer    *trace.Tracer // span emission over sink; nil when tracing is off
+	m         *coreMetrics  // nil when cfg.Metrics is nil
+	limits    wire.Limits   // frame codec caps, derived from Params
 
 	compromisedCodes *codepool.CodeSet
 	compromisedNodes map[int]bool
@@ -268,6 +269,8 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		limits:           wire.LimitsFromParams(p),
 	}
 	n.sink = trace.Multi(cfg.Trace) // normalizes typed-nil recorders to nil
+	n.tracer = trace.NewTracer(n.sink)
+	engine.Trace(n.tracer)
 	n.m = newCoreMetrics(cfg.Metrics)
 	if cfg.Metrics != nil {
 		engine.Instrument(sim.NewEngineMetrics(cfg.Metrics))
@@ -507,6 +510,7 @@ func (n *Network) CrashNode(i int) error {
 		return nil
 	}
 	nd.down = true
+	n.endNodeSpans(nd, "crashed")
 	for peer := range nd.neighbors {
 		n.dropAccepted(nd.id, peer)
 	}
@@ -790,7 +794,11 @@ func (n *Network) RunDNDP(window sim.Time) error {
 			return err
 		}
 	}
-	return n.engine.Run()
+	if err := n.engine.Run(); err != nil {
+		return err
+	}
+	n.closeAttemptSpans("quiesced")
+	return nil
 }
 
 // RunMNDP schedules every non-compromised node to initiate M-NDP at a

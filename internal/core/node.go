@@ -55,6 +55,9 @@ type dndpInitiatorState struct {
 	nonce     []byte
 	startedAt sim.Time
 	peers     map[ibc.NodeID]*dndpInitiatorPeer
+	// attemptSpan is the open dndp.attempt root span (0 when tracing is
+	// off); every phase of this round parents to it.
+	attemptSpan trace.SpanID
 }
 
 // dndpInitiatorPeer tracks the initiator's view of one responder.
@@ -64,7 +67,8 @@ type dndpInitiatorPeer struct {
 	key          [32]byte
 	haveKey      bool
 	done         bool
-	firstConfirm sim.Time // when the record was created (half-open aging)
+	firstConfirm sim.Time     // when the record was created (half-open aging)
+	prepSpan     trace.SpanID // open dndp.auth1_prep span
 }
 
 // dndpResponderState tracks the responder's view of one initiator.
@@ -78,6 +82,10 @@ type dndpResponderState struct {
 	accepted   bool
 	firstHello sim.Time
 	auth2Codes map[codepool.CodeID]bool
+	// bufferSpan/confirmSpan are the open dndp.hello_buffer and
+	// dndp.confirm spans held on the responder side.
+	bufferSpan  trace.SpanID
+	confirmSpan trace.SpanID
 }
 
 // mndpPending tracks an M-NDP exchange awaiting the session HELLO/CONFIRM

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestDNDPSpansReconstructPipeline: a clean two-node discovery must leave
+// a reconstructable causal trace — attempt roots under sim.run, with the
+// sweep/buffer/prep/verify/confirm phases hanging off them.
+func TestDNDPSpansReconstructPipeline(t *testing.T) {
+	rec, err := trace.NewRecorder(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(NetworkConfig{
+		Params:                smallParams(2, 5),
+		Seed:                  1,
+		Jammer:                JamNone,
+		Positions:             clusterPositions(2),
+		Trace:                 rec,
+		ModelProcessingDelays: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	if !net.DiscoveredPair(0, 1) {
+		t.Fatal("pair failed to discover")
+	}
+
+	f := trace.BuildSpans(rec.Events())
+	if f.OrphanEnds != 0 {
+		t.Fatalf("OrphanEnds = %d, want 0", f.OrphanEnds)
+	}
+	if len(f.Roots) != 1 || f.Roots[0].Name != "sim.run" {
+		t.Fatalf("roots = %+v, want single sim.run", f.Roots)
+	}
+	attempts := f.Named("dndp.attempt")
+	if len(attempts) != 2 {
+		t.Fatalf("got %d dndp.attempt spans, want 2 (one per initiator)", len(attempts))
+	}
+	for _, a := range attempts {
+		if a.Parent == 0 {
+			t.Fatalf("attempt span %d has no parent; want the sim.run span", a.ID)
+		}
+	}
+	// Each phase of the pipeline must appear, with nonzero virtual duration
+	// for the delay-modeled ones.
+	for _, phase := range []string{
+		"dndp.hello_sweep", "dndp.hello_buffer", "dndp.auth1_prep",
+		"dndp.auth1_verify", "dndp.confirm",
+	} {
+		spans := f.Named(phase)
+		if len(spans) == 0 {
+			t.Errorf("no %s spans recorded", phase)
+			continue
+		}
+		for _, s := range spans {
+			if s.Open {
+				t.Errorf("%s span %d left open in a clean run", phase, s.ID)
+			}
+			if s.Parent == 0 {
+				t.Errorf("%s span %d has no parent attempt", phase, s.ID)
+			}
+		}
+	}
+	// The buffer phase models t_b >= the m-code sweep, so it must have real
+	// virtual extent.
+	if buf := f.Named("dndp.hello_buffer"); buf[0].Duration() <= 0 {
+		t.Errorf("hello_buffer duration = %v, want > 0", buf[0].Duration())
+	}
+	// A successful handshake ends its confirm span with the verdict.
+	confirmed := false
+	for _, s := range f.Named("dndp.confirm") {
+		if s.EndDetail == "discovered" {
+			confirmed = true
+		}
+	}
+	if !confirmed {
+		t.Error("no dndp.confirm span ended with \"discovered\"")
+	}
+}
+
+// TestSpansUntracedRunIsUnchanged: with no sink configured the tracer is
+// nil and a run must work exactly as before (guard against span plumbing
+// perturbing the untraced path).
+func TestSpansUntracedRunIsUnchanged(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(3, 5),
+		Seed:      7,
+		Jammer:    JamNone,
+		Positions: clusterPositions(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunDNDP(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.Discoveries()); got != 3 {
+		t.Fatalf("got %d discoveries, want 3", got)
+	}
+}
+
+// TestDNDPSpansCrashClosesAttempt: crashing a node must close its open
+// spans with a "crashed" verdict rather than leaking them.
+func TestDNDPSpansCrashClosesAttempt(t *testing.T) {
+	rec, err := trace.NewRecorder(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(NetworkConfig{
+		Params:    smallParams(2, 5),
+		Seed:      3,
+		Jammer:    JamNone,
+		Positions: clusterPositions(2),
+		Trace:     rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start a round, crash the initiator mid-flight.
+	if err := net.ScheduleDiscovery(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	net.Engine().MustSchedule(0.0001, func() {
+		if err := net.CrashNode(0); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := net.Engine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	f := trace.BuildSpans(rec.Events())
+	attempts := f.Named("dndp.attempt")
+	if len(attempts) != 1 {
+		t.Fatalf("got %d attempts, want 1", len(attempts))
+	}
+	if attempts[0].Open || attempts[0].EndDetail != "crashed" {
+		t.Fatalf("attempt = %+v, want closed with \"crashed\"", attempts[0])
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/chips"
 	"repro/internal/rs"
+	"repro/internal/trace"
 )
 
 // Frame is the complete §V-B message path: Reed–Solomon expansion by the
@@ -19,9 +20,11 @@ import (
 // offsets could otherwise "decode" noise; the sync word rejects such
 // miscorrections with probability 1 − 2^{-16}.
 type Frame struct {
-	codec *rs.Codec
-	tau   float64
-	m     *PhyMetrics // nil unless Instrument was called
+	codec    *rs.Codec
+	tau      float64
+	m        *PhyMetrics   // nil unless Instrument was called
+	tracer   *trace.Tracer // nil unless Trace was called
+	chipRate float64       // chips per second for span timestamps
 }
 
 // frameMagic is the two-byte sync word prepended to every frame payload.
@@ -86,16 +89,35 @@ func (f *Frame) ReceiveScan(buf []int32, codes []chips.Sequence, msgLen int) (ms
 		if f.m != nil {
 			f.m.SyncAttempts.Inc()
 		}
+		sync := trace.SpanID(0)
+		if f.tracer != nil {
+			sync = f.tracer.Start(f.chipTime(start), 0, -1, -1, "dsss.sync_window")
+		}
 		res, serr := Synchronize(window, codes, f.tau, f.EncodedBits(msgLen))
 		if serr != nil {
 			if f.m != nil {
 				f.m.SyncMisses.Inc()
 			}
+			if f.tracer != nil {
+				f.tracer.End(f.chipTime(len(buf)), sync, -1, -1, "no signal")
+			}
 			return nil, 0, 0, ErrNoSignal
 		}
 		off := start + res.Offset
+		if f.tracer != nil {
+			f.tracer.End(f.chipTime(off), sync, -1, -1, fmt.Sprintf("locked code=%d", res.CodeIndex))
+		}
 		if off+frameChips > len(buf) {
 			return nil, 0, 0, ErrNoSignal
+		}
+		despread := trace.SpanID(0)
+		if f.tracer != nil {
+			despread = f.tracer.Start(f.chipTime(off), sync, -1, -1, "dsss.despread")
+		}
+		endDespread := func(detail string) {
+			if f.tracer != nil {
+				f.tracer.End(f.chipTime(off+frameChips), despread, -1, -1, detail)
+			}
 		}
 		// A sync hit locates a plausible frame start, but the code that
 		// tripped the threshold may be a chance correlator of another
@@ -103,6 +125,7 @@ func (f *Frame) ReceiveScan(buf []int32, codes []chips.Sequence, msgLen int) (ms
 		// first, then every other candidate, before advancing — otherwise
 		// a false lock at the true offset would skip the real frame.
 		if m, derr := f.Receive(buf, off, codes[res.CodeIndex], msgLen); derr == nil {
+			endDespread(fmt.Sprintf("decoded code=%d", res.CodeIndex))
 			return m, res.CodeIndex, off, nil
 		}
 		for ci := range codes {
@@ -110,9 +133,11 @@ func (f *Frame) ReceiveScan(buf []int32, codes []chips.Sequence, msgLen int) (ms
 				continue
 			}
 			if m, derr := f.Receive(buf, off, codes[ci], msgLen); derr == nil {
+				endDespread(fmt.Sprintf("decoded code=%d", ci))
 				return m, ci, off, nil
 			}
 		}
+		endDespread("all candidates failed")
 		start = off + 1
 	}
 }

@@ -1,0 +1,24 @@
+package dsss
+
+import "repro/internal/trace"
+
+// Span tracing for the receive path: each Synchronize call inside
+// ReceiveScan becomes a "dsss.sync_window" span covering the chip range
+// it scanned, and each locked offset's decode attempt becomes a child
+// "dsss.despread" span covering the frame's airtime. Timestamps are in
+// seconds of chip time (offset / chipRate), so a chip-level trace can sit
+// next to the protocol engine's virtual-time spans in one report.
+
+// Trace attaches a tracer to the framer. chipRate converts chip offsets
+// to span timestamps in seconds; a non-positive rate means "1 chip = 1
+// second" (useful in tests). Pass a nil tracer to detach.
+func (f *Frame) Trace(t *trace.Tracer, chipRate float64) {
+	if chipRate <= 0 {
+		chipRate = 1
+	}
+	f.tracer = t
+	f.chipRate = chipRate
+}
+
+// chipTime converts a chip offset to a span timestamp.
+func (f *Frame) chipTime(chips int) float64 { return float64(chips) / f.chipRate }

@@ -1,0 +1,91 @@
+package dsss
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/trace"
+)
+
+// TestReceiveScanSpans: a traced scan must leave one sync_window span per
+// Synchronize call, with the successful decode's despread span as its
+// child covering the frame airtime in chip time.
+func TestReceiveScanSpans(t *testing.T) {
+	frame, err := NewFrame(1.0, testTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trace.NewRecorder(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame.Trace(trace.NewTracer(rec), 0) // chipRate<=0: timestamps in chips
+	rng := rand.New(rand.NewSource(20))
+	code := chips.NewRandom(rng, testChipLen)
+	msg := []byte("HELLO:A")
+	const off = 700
+	sig, err := frame.Transmit(msg, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := NewChannel(off + sig.Len() + 500)
+	ch.Add(sig, off)
+	got, _, lockedAt, err := frame.ReceiveScan(ch.Samples(), []chips.Sequence{code}, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+
+	f := trace.BuildSpans(rec.Events())
+	syncs := f.Named("dsss.sync_window")
+	if len(syncs) == 0 {
+		t.Fatal("no dsss.sync_window spans recorded")
+	}
+	despreads := f.Named("dsss.despread")
+	if len(despreads) == 0 {
+		t.Fatal("no dsss.despread spans recorded")
+	}
+	last := despreads[len(despreads)-1]
+	if last.EndDetail != "decoded code=0" {
+		t.Fatalf("final despread verdict = %q, want decoded code=0", last.EndDetail)
+	}
+	if last.Parent == 0 {
+		t.Fatal("despread span must parent to its sync_window span")
+	}
+	if last.Start != float64(lockedAt) {
+		t.Fatalf("despread starts at chip %v, want lock offset %d", last.Start, lockedAt)
+	}
+	frameChips := frame.EncodedBits(len(msg)) * code.Len()
+	if got := last.Duration(); got != float64(frameChips) {
+		t.Fatalf("despread duration = %v chips, want frame airtime %d", got, frameChips)
+	}
+	if f.Open != 0 || f.OrphanEnds != 0 {
+		t.Fatalf("unbalanced spans: open=%d orphans=%d", f.Open, f.OrphanEnds)
+	}
+}
+
+// TestReceiveScanSpansOnMiss: a scan over pure noise must close its sync
+// span with a "no signal" verdict, never leaving it open.
+func TestReceiveScanSpansOnMiss(t *testing.T) {
+	frame, _ := NewFrame(1.0, testTau)
+	rec, _ := trace.NewRecorder(64)
+	frame.Trace(trace.NewTracer(rec), 0)
+	rng := rand.New(rand.NewSource(21))
+	code := chips.NewRandom(rng, testChipLen)
+	buf := make([]int32, 20*testChipLen)
+	if _, _, _, err := frame.ReceiveScan(buf, []chips.Sequence{code}, 4); !errors.Is(err, ErrNoSignal) {
+		t.Fatalf("err = %v, want ErrNoSignal", err)
+	}
+	f := trace.BuildSpans(rec.Events())
+	syncs := f.Named("dsss.sync_window")
+	if len(syncs) != 1 {
+		t.Fatalf("got %d sync spans, want 1", len(syncs))
+	}
+	if syncs[0].Open || syncs[0].EndDetail != "no signal" {
+		t.Fatalf("sync span = %+v, want closed with no signal", syncs[0])
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Chaos harness: a fault matrix of jammer model × node churn × channel
@@ -120,11 +121,19 @@ func chaosPositions(n int) []field.Point {
 // RunCell executes one chaos cell twice under the given seed and returns
 // the verified outcome.
 func RunCell(cell Cell, seed int64) (CellResult, error) {
-	first, fp1, err := runCellOnce(cell, seed)
+	return RunCellTraced(cell, seed, nil)
+}
+
+// RunCellTraced is RunCell with a trace sink attached to the first of the
+// two determinism runs. Trace emission is passive — it never feeds back
+// into RNG draws or event ordering, and the determinism fingerprint
+// excludes it — so a traced cell still replays byte-identically.
+func RunCellTraced(cell Cell, seed int64, sink trace.Sink) (CellResult, error) {
+	first, fp1, err := runCellOnce(cell, seed, sink)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("faults: cell %s: %w", cell.Name, err)
 	}
-	_, fp2, err := runCellOnce(cell, seed)
+	_, fp2, err := runCellOnce(cell, seed, nil)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("faults: cell %s (replay): %w", cell.Name, err)
 	}
@@ -136,7 +145,7 @@ func RunCell(cell Cell, seed int64) (CellResult, error) {
 // armed, applies the monitor timeouts, and checks invariants. The returned
 // fingerprint captures the complete observable outcome for the
 // determinism check.
-func runCellOnce(cell Cell, seed int64) (CellResult, string, error) {
+func runCellOnce(cell Cell, seed int64, sink trace.Sink) (CellResult, string, error) {
 	p := chaosParams()
 	retry := core.DefaultRetryConfig(p)
 	streams := sim.NewStreams(seed ^ int64(len(cell.Name))<<32)
@@ -164,6 +173,7 @@ func runCellOnce(cell Cell, seed int64) (CellResult, string, error) {
 		Retry:           retry,
 		Defense:         core.DefaultDefenseConfig(p),
 		ClockSkewSpread: 0.05,
+		Trace:           sink,
 	})
 	if err != nil {
 		return CellResult{}, "", err

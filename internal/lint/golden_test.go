@@ -150,6 +150,31 @@ func TestGoldenMutexaliasing(t *testing.T) {
 	runGolden(t, "mutexaliasing", "mutexaliasing", "repro/internal/authd/matest", 1)
 }
 
+func TestGoldenSpanbalance(t *testing.T) {
+	runGolden(t, "spanbalance", "spanbalance", "repro/internal/core/sbtest", 1)
+}
+
+// TestInstrumentedPackageScope pins which import paths spanbalance
+// polices: exactly the span-emitting packages of docs/observability.md.
+func TestInstrumentedPackageScope(t *testing.T) {
+	for _, path := range []string{
+		"repro/internal/core", "repro/internal/sim", "repro/internal/dsss",
+		"repro/internal/authd", "repro/internal/core/sub",
+	} {
+		if !IsInstrumentedPackage(path) {
+			t.Errorf("IsInstrumentedPackage(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"repro", "repro/internal/trace", "repro/internal/wire",
+		"repro/internal/faults", "repro/cmd/jrsnd-report", "repro/internal/corecraft",
+	} {
+		if IsInstrumentedPackage(path) {
+			t.Errorf("IsInstrumentedPackage(%q) = true, want false", path)
+		}
+	}
+}
+
 // TestGoldenCryptocompareSkipsTestFiles pins the _test.go exclusion: the
 // deliberate variable-time comparison in excluded_test.go must not
 // surface.

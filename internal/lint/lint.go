@@ -60,6 +60,7 @@ func Analyzers() []*Analyzer {
 		cryptocompareAnalyzer,
 		boundedallocAnalyzer,
 		mutexaliasingAnalyzer,
+		spanbalanceAnalyzer,
 	}
 }
 

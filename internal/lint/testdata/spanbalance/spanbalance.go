@@ -1,0 +1,121 @@
+// Golden input for the spanbalance analyzer: locally-held spans that
+// leak (never ended, ended on only some return paths, or dropped on the
+// fall-through path) against the legal lifetimes — defer, end-on-every-
+// path, and the handoff idioms (field store, parent argument, scheduled
+// closure).
+package spanbalance
+
+import "repro/internal/trace"
+
+func badNeverEnded(tr *trace.Tracer) {
+	sp := tr.Start(0, 0, 1, -1, "phase") // want spanbalance "never ended"
+	if sp == 0 {
+		println("tracing off")
+	}
+}
+
+func badLeakyReturn(tr *trace.Tracer, fail bool) {
+	sp := tr.Start(0, 0, 1, -1, "phase")
+	if fail {
+		return // want spanbalance "without a matching End"
+	}
+	tr.End(1, sp, 1, -1, "ok")
+}
+
+func badFallsOff(tr *trace.Tracer, ok bool) {
+	sp := tr.Start(0, 0, 1, -1, "phase") // want spanbalance "falls off the end"
+	if ok {
+		tr.End(1, sp, 1, -1, "ok")
+	}
+}
+
+func badLoopReturn(tr *trace.Tracer, rounds int) {
+	for i := 0; i < rounds; i++ {
+		sp := tr.Start(float64(i), 0, 1, -1, "round")
+		if i == 3 {
+			return // want spanbalance "without a matching End"
+		}
+		tr.End(float64(i)+1, sp, 1, -1, "")
+	}
+}
+
+func okDefer(tr *trace.Tracer, fail bool) {
+	sp := tr.Start(0, 0, 1, -1, "phase")
+	defer tr.End(1, sp, 1, -1, "done")
+	if fail {
+		return
+	}
+	println("work")
+}
+
+func okEveryPath(tr *trace.Tracer, fail bool) {
+	sp := tr.Start(0, 0, 1, -1, "phase")
+	if fail {
+		tr.End(1, sp, 1, -1, "failed")
+		return
+	}
+	tr.End(1, sp, 1, -1, "ok")
+}
+
+func okSwitch(tr *trace.Tracer, mode int) {
+	sp := tr.Start(0, 0, 1, -1, "phase")
+	switch mode {
+	case 0:
+		tr.End(1, sp, 1, -1, "a")
+	default:
+		tr.End(1, sp, 1, -1, "b")
+	}
+}
+
+func okLoopBalanced(tr *trace.Tracer, rounds int) {
+	for i := 0; i < rounds; i++ {
+		sp := tr.Start(float64(i), 0, 1, -1, "round")
+		tr.End(float64(i)+1, sp, 1, -1, "")
+	}
+}
+
+type handshake struct{ span trace.SpanID }
+
+// okStoredDirect: a span assigned straight into protocol state is never a
+// tracked local — its closer finds it in the struct.
+func okStoredDirect(tr *trace.Tracer, h *handshake) {
+	h.span = tr.Start(0, 0, 1, -1, "attempt")
+}
+
+// okHandoffField: storing the local into a field transfers custody.
+func okHandoffField(tr *trace.Tracer, h *handshake) {
+	sp := tr.Start(0, 0, 1, -1, "attempt")
+	h.span = sp
+}
+
+// okHandoffClosure: the scheduled continuation owns the End.
+func okHandoffClosure(tr *trace.Tracer, schedule func(func())) {
+	sp := tr.Start(0, 0, 1, -1, "sweep")
+	schedule(func() {
+		tr.End(1, sp, 1, -1, "swept")
+	})
+}
+
+// okHandoffArg: passing the ID along (here as a child's parent) hands it
+// off; the callee side is responsible for the close.
+func okHandoffArg(tr *trace.Tracer) {
+	sync := tr.Start(0, 0, 1, -1, "sync")
+	child := tr.Start(1, sync, 1, -1, "despread")
+	tr.End(2, child, 1, -1, "")
+}
+
+// okClosureOwnSpan: a span opened inside a func literal belongs to the
+// literal's own extent, not the enclosing function's return paths.
+func okClosureOwnSpan(tr *trace.Tracer) func() {
+	return func() {
+		sp := tr.Start(0, 0, 1, -1, "deferred work")
+		tr.End(1, sp, 1, -1, "")
+	}
+}
+
+func suppressedLeak(tr *trace.Tracer) {
+	sp := tr.Start(0, 0, 1, -1, "phase") //jrsnd:allow spanbalance deliberately left open to demonstrate suppression
+	if sp == 0 {
+		println("tracing off")
+	}
+}

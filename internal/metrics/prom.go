@@ -29,11 +29,45 @@ func splitLabels(name string) (base, labels string) {
 // returning the sample name for the exposition line.
 func withLabel(name, key, value string) string {
 	base, labels := splitLabels(name)
-	pair := key + `="` + value + `"`
+	pair := key + `="` + EscapeLabelValue(value) + `"`
 	if labels == "" {
 		return base + "{" + pair + "}"
 	}
 	return base + "{" + labels + "," + pair + "}"
+}
+
+// labelEscaper applies the text-exposition escapes for label values:
+// backslash, double quote, and newline.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabelValue escapes a raw string for use inside a quoted label
+// value. Instrument constructors that embed caller-controlled strings in
+// labeled names (`name{key="<value>"}`) must escape them, or a quote in
+// the value corrupts the whole exposition.
+func EscapeLabelValue(s string) string { return labelEscaper.Replace(s) }
+
+// unescapeLabelValue reverses EscapeLabelValue.
+func unescapeLabelValue(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default: // \\ and \" unescape to the literal; others pass through
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
 }
 
 func formatFloat(v float64) string {
@@ -127,7 +161,7 @@ func withLabelOnSuffix(name, sfx, key, value string) string {
 }
 
 // parseLabels splits a raw label body (`a="b",c="d"`) into pairs, honoring
-// quotes.
+// quotes and backslash escapes; values come back unescaped.
 func parseLabels(body string) ([][2]string, error) {
 	var out [][2]string
 	rest := body
@@ -141,23 +175,32 @@ func parseLabels(body string) ([][2]string, error) {
 		if len(rest) == 0 || rest[0] != '"' {
 			return nil, fmt.Errorf("metrics: unquoted label value in %q", body)
 		}
-		end := strings.IndexByte(rest[1:], '"')
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++ // skip the escaped byte
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
 		if end < 0 {
 			return nil, fmt.Errorf("metrics: unterminated label value in %q", body)
 		}
-		val := rest[1 : 1+end]
-		out = append(out, [2]string{key, val})
-		rest = rest[end+2:]
+		out = append(out, [2]string{key, unescapeLabelValue(rest[1:end])})
+		rest = rest[end+1:]
 		rest = strings.TrimPrefix(rest, ",")
 	}
 	return out, nil
 }
 
-// renderLabels rebuilds a label body from pairs.
+// renderLabels rebuilds a label body from (unescaped) pairs.
 func renderLabels(pairs [][2]string) string {
 	parts := make([]string, len(pairs))
 	for i, p := range pairs {
-		parts[i] = p[0] + `="` + p[1] + `"`
+		parts[i] = p[0] + `="` + EscapeLabelValue(p[1]) + `"`
 	}
 	return strings.Join(parts, ",")
 }

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Exposition-correctness coverage for prom.go: label-value escaping,
+// histogram bucket ordering, and byte-deterministic output.
+
+func TestLabelValueEscaping(t *testing.T) {
+	cases := []struct{ raw, escaped string }{
+		{`plain`, `plain`},
+		{`has"quote`, `has\"quote`},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{`both\"`, `both\\\"`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.raw); got != c.escaped {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.raw, got, c.escaped)
+		}
+		if got := unescapeLabelValue(c.escaped); got != c.raw {
+			t.Errorf("unescapeLabelValue(%q) = %q, want %q", c.escaped, got, c.raw)
+		}
+	}
+}
+
+// TestEscapedLabelsRoundTrip: an instrument labeled with a hostile value
+// (quotes, backslashes, newline) must survive write → parse intact — the
+// escaping keeps one bad label from corrupting the whole exposition.
+func TestEscapedLabelsRoundTrip(t *testing.T) {
+	hostile := "ad\"ver\\sary\nnode"
+	r := New()
+	name := `jrsnd_test_events_total{src="` + EscapeLabelValue(hostile) + `"}`
+	hname := `jrsnd_test_latency_seconds{src="` + EscapeLabelValue(hostile) + `"}`
+	r.Counter(name, "events by source").Add(7)
+	h := r.Histogram(hname, "latency by source", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+	snap := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatalf("parse of escaped exposition failed: %v\n%s", err, buf.String())
+	}
+	if got.Counters[name] != 7 {
+		t.Fatalf("counter lost its escaped label: got keys %v", got.SortedCounterNames())
+	}
+	hs, ok := got.Histograms[hname]
+	if !ok {
+		t.Fatalf("histogram lost its escaped label: got keys %v", got.SortedHistogramNames())
+	}
+	if hs.Count != 2 || hs.Sum != 3.5 {
+		t.Fatalf("histogram data corrupted: %+v", hs)
+	}
+	// The unescaped hostile value must be recoverable from the label body.
+	_, body := splitLabels(name)
+	pairs, err := parseLabels(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0][1] != hostile {
+		t.Fatalf("parseLabels(%q) = %v, want value %q", body, pairs, hostile)
+	}
+}
+
+func TestParseLabelsRejectsMalformed(t *testing.T) {
+	for _, body := range []string{`k`, `k=v`, `k="unterminated`, `k="trailing\`} {
+		if _, err := parseLabels(body); err == nil {
+			t.Errorf("parseLabels(%q) accepted malformed body", body)
+		}
+	}
+}
+
+// TestHistogramBucketOrdering: exposition buckets must come out in
+// ascending le order, cumulative, with the +Inf bucket last and equal to
+// the observation count — the contract scrapers depend on.
+func TestHistogramBucketOrdering(t *testing.T) {
+	r := New()
+	h := r.Histogram("jrsnd_test_seconds", "x", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var les []string
+	var counts []uint64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "jrsnd_test_seconds_bucket") {
+			continue
+		}
+		var le string
+		var n uint64
+		if _, err := fmt.Sscanf(line, `jrsnd_test_seconds_bucket{le="%s %d`, &le, &n); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		les = append(les, strings.TrimSuffix(le, `"}`))
+		counts = append(counts, n)
+	}
+	wantLes := []string{"0.1", "1", "10", "+Inf"}
+	if len(les) != len(wantLes) {
+		t.Fatalf("got %d bucket lines (%v), want %v", len(les), les, wantLes)
+	}
+	for i := range wantLes {
+		if les[i] != wantLes[i] {
+			t.Fatalf("bucket order = %v, want %v (ascending, +Inf last)", les, wantLes)
+		}
+	}
+	wantCounts := []uint64{1, 3, 4, 5}
+	for i := range wantCounts {
+		if counts[i] != wantCounts[i] {
+			t.Fatalf("cumulative counts = %v, want %v", counts, wantCounts)
+		}
+	}
+	if counts[len(counts)-1] != 5 {
+		t.Fatalf("+Inf bucket = %d, want total observation count 5", counts[len(counts)-1])
+	}
+}
+
+// TestDeterministicExposition: two writes of the same snapshot must be
+// byte-identical, with families in sorted order — diffs of .prom
+// artifacts must mean the data changed, not the map iteration.
+func TestDeterministicExposition(t *testing.T) {
+	snap := exampleSnapshot()
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("non-deterministic exposition:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+	// Sample lines must be sorted within each section.
+	var counterLines []string
+	for _, line := range strings.Split(a.String(), "\n") {
+		if strings.HasPrefix(line, "jrsnd_core_tx_total{") || strings.HasPrefix(line, "jrsnd_sim_events_fired_total") {
+			counterLines = append(counterLines, line)
+		}
+	}
+	for i := 1; i < len(counterLines); i++ {
+		if counterLines[i-1] > counterLines[i] {
+			t.Fatalf("counter samples out of sorted order:\n%s", strings.Join(counterLines, "\n"))
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import "runtime"
+
+// RuntimeCollector mirrors Go runtime health — goroutine count, heap
+// footprint, GC pause accumulation — into registry gauges. Collection is
+// pull-based: call Collect at scrape time (e.g. at the top of a /metrics
+// handler) so the snapshot reflects the moment of observation instead of
+// a background sampler's cadence. A nil *RuntimeCollector is inert.
+type RuntimeCollector struct {
+	goroutines   *Gauge
+	heapAlloc    *Gauge
+	heapObjects  *Gauge
+	gcCycles     *Gauge
+	gcPauseTotal *Gauge
+}
+
+// NewRuntimeCollector registers the runtime instruments on reg. A nil
+// registry yields a fully inert (but non-nil) collector.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	return &RuntimeCollector{
+		goroutines:   reg.Gauge("jrsnd_go_goroutines", "live goroutines at scrape time"),
+		heapAlloc:    reg.Gauge("jrsnd_go_heap_alloc_bytes", "bytes of allocated heap objects"),
+		heapObjects:  reg.Gauge("jrsnd_go_heap_objects", "live heap objects"),
+		gcCycles:     reg.Gauge("jrsnd_go_gc_cycles_total", "completed GC cycles"),
+		gcPauseTotal: reg.Gauge("jrsnd_go_gc_pause_seconds_total", "cumulative GC stop-the-world pause time"),
+	}
+}
+
+// Collect samples the runtime into the registered gauges. ReadMemStats
+// stops the world briefly; callers gate collection behind an opt-in
+// profiling flag rather than running it per-request.
+func (c *RuntimeCollector) Collect() {
+	if c == nil {
+		return
+	}
+	c.goroutines.Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.heapAlloc.Set(float64(ms.HeapAlloc))
+	c.heapObjects.Set(float64(ms.HeapObjects))
+	c.gcCycles.Set(float64(ms.NumGC))
+	c.gcPauseTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+)
+
+// Engine micro-benchmarks, gated by cmd/jrsnd-benchgate against the
+// checked-in BENCH_sim.json baseline: the scheduler's heap operations and
+// dispatch loop are the floor under every protocol run, so a regression
+// here taxes the whole evaluation.
+
+// BenchmarkScheduleRun measures the schedule → dispatch round trip: fill
+// the queue with k events at staggered virtual times, then drain it.
+func BenchmarkScheduleRun(b *testing.B) {
+	const k = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < k; j++ {
+			e.MustSchedule(Time(j%37)*0.001, func() {})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleCancel measures the cancel path: events that never run
+// still cost their heap insertion plus lazy removal.
+func BenchmarkScheduleCancel(b *testing.B) {
+	const k = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		evs := make([]*Event, k)
+		for j := 0; j < k; j++ {
+			evs[j] = e.MustSchedule(Time(j)*0.001, func() {})
+		}
+		for _, ev := range evs {
+			e.Cancel(ev)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCascade measures self-rescheduling dispatch — the shape of a
+// protocol timer chain — without the bulk-insert phase dominating.
+func BenchmarkCascade(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		remaining := 4096
+		var tick func()
+		tick = func() {
+			if remaining--; remaining > 0 {
+				e.MustSchedule(0.001, tick)
+			}
+		}
+		e.MustSchedule(0.001, tick)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreams measures named-RNG stream derivation, which every
+// deployment component draws through.
+func BenchmarkStreams(b *testing.B) {
+	names := []string{"dndp-start", "mndp-start", "chaos-churn", "jammer", "medium"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewStreams(42)
+		for _, name := range names {
+			s.Get(name).Int63()
+		}
+	}
+}

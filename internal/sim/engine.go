@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Time is virtual simulation time in seconds since the start of the run.
@@ -75,6 +77,8 @@ type Engine struct {
 	EventLimit uint64
 	fired      uint64
 	metrics    *EngineMetrics
+	tracer     *trace.Tracer
+	runSpan    trace.SpanID
 }
 
 // ErrEventLimit is returned by Run variants when EventLimit is exceeded.
@@ -153,6 +157,8 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() error {
 	e.metrics.beginRun(e.now)
 	defer func() { e.metrics.endRun(e.now) }()
+	e.beginRunSpan("sim.run")
+	defer e.endRunSpan()
 	for e.Step() {
 		if e.EventLimit > 0 && e.fired > e.EventLimit {
 			return ErrEventLimit
@@ -166,6 +172,8 @@ func (e *Engine) Run() error {
 func (e *Engine) RunUntil(deadline Time) error {
 	e.metrics.beginRun(e.now)
 	defer func() { e.metrics.endRun(e.now) }()
+	e.beginRunSpan("sim.run")
+	defer e.endRunSpan()
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		if !e.Step() {
 			break

@@ -1,0 +1,37 @@
+package sim
+
+import "repro/internal/trace"
+
+// Span tracing for event dispatch: the engine opens one "sim.run" span per
+// Run/RunUntil call, which protocol layers use as the causal root for
+// their own spans (a D-NDP attempt parents to the run that dispatched it).
+// A nil tracer keeps the hot path at a single pointer check, mirroring
+// EngineMetrics.
+
+// Trace attaches a tracer to the engine; pass nil to detach.
+func (e *Engine) Trace(t *trace.Tracer) { e.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off), so
+// layered components can emit spans through the engine's stream.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// RunSpan returns the ID of the currently open sim.run span, or 0 when
+// the engine is not inside Run/RunUntil (or tracing is off). Protocol
+// spans use it as their parent.
+func (e *Engine) RunSpan() trace.SpanID { return e.runSpan }
+
+// beginRunSpan opens the dispatch span; paired with endRunSpan.
+func (e *Engine) beginRunSpan(name string) {
+	if e.tracer == nil {
+		return
+	}
+	e.runSpan = e.tracer.Start(float64(e.now), 0, -1, -1, name)
+}
+
+func (e *Engine) endRunSpan() {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.End(float64(e.now), e.runSpan, -1, -1, "")
+	e.runSpan = 0
+}

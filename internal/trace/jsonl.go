@@ -17,11 +17,15 @@ type jsonEvent struct {
 	Node   int     `json:"node"`
 	Peer   int     `json:"peer"`
 	Detail string  `json:"detail,omitempty"`
+	// Span fields are omitted for non-span events, so pre-span trace files
+	// and new ones share one schema: ReadJSONL fills missing fields with 0.
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // KindFromString inverts Kind.String; unknown names map to 0.
 func KindFromString(s string) Kind {
-	for k := KindTx; k <= KindDrop; k++ {
+	for k := KindTx; k <= KindSpanEnd; k++ {
 		if k.String() == s {
 			return k
 		}
@@ -81,7 +85,10 @@ func (j *JSONLWriter) writeLocked(e Event) {
 	if j.err != nil {
 		return
 	}
-	line, err := json.Marshal(jsonEvent{At: e.At, Kind: e.Kind.String(), Node: e.Node, Peer: e.Peer, Detail: e.Detail})
+	line, err := json.Marshal(jsonEvent{
+		At: e.At, Kind: e.Kind.String(), Node: e.Node, Peer: e.Peer, Detail: e.Detail,
+		Span: uint64(e.Span), Parent: uint64(e.Parent),
+	})
 	if err != nil {
 		j.err = err
 		return
@@ -152,7 +159,10 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 			return nil, fmt.Errorf("trace: line %d: time %v before previous event at %v", lineNo, je.At, last)
 		}
 		last = je.At
-		out = append(out, Event{At: je.At, Kind: KindFromString(je.Kind), Node: je.Node, Peer: je.Peer, Detail: je.Detail})
+		out = append(out, Event{
+			At: je.At, Kind: KindFromString(je.Kind), Node: je.Node, Peer: je.Peer, Detail: je.Detail,
+			Span: SpanID(je.Span), Parent: SpanID(je.Parent),
+		})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: read JSONL: %w", err)

@@ -98,13 +98,74 @@ func TestJSONLNilAndGarbage(t *testing.T) {
 }
 
 func TestKindFromString(t *testing.T) {
-	for k := KindTx; k <= KindDrop; k++ {
+	// Every named kind must round-trip — KindFromString once stopped at
+	// KindDrop, silently mapping crash/restart/retry back to 0.
+	for k := KindTx; k <= KindSpanEnd; k++ {
 		if got := KindFromString(k.String()); got != k {
 			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
 		}
 	}
 	if KindFromString("nonsense") != 0 {
 		t.Error("unknown kind name must map to 0")
+	}
+}
+
+// TestJSONLSpanRoundTrip: span identity must survive the JSONL wire form.
+func TestJSONLSpanRoundTrip(t *testing.T) {
+	events := []Event{
+		{At: 0.1, Kind: KindSpanStart, Node: 0, Peer: -1, Detail: "dndp.attempt", Span: 7},
+		{At: 0.2, Kind: KindSpanStart, Node: 0, Peer: 1, Detail: "dndp.hello_sweep", Span: 8, Parent: 7},
+		{At: 0.3, Kind: KindRetry, Node: 0, Peer: -1, Detail: "budget 2"},
+		{At: 0.4, Kind: KindSpanEnd, Node: 0, Peer: 1, Detail: "swept", Span: 8},
+		{At: 0.5, Kind: KindSpanEnd, Node: 0, Peer: -1, Detail: "discovered", Span: 7},
+	}
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-span lines must not carry span keys (pre-span schema unchanged).
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if strings.Contains(line, "retry") && strings.Contains(line, "span") {
+			t.Fatalf("non-span event gained span fields: %s", line)
+		}
+	}
+	back, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip returned %d events, want %d", len(back), len(events))
+	}
+	for i, e := range events {
+		if back[i] != e {
+			t.Errorf("event %d: got %+v, want %+v", i, back[i], e)
+		}
+	}
+}
+
+// TestReadJSONLPreSpanLines: trace files written before the span fields
+// existed must still parse, with zero span identity.
+func TestReadJSONLPreSpanLines(t *testing.T) {
+	legacy := "{\"at\":0.1,\"kind\":\"tx\",\"node\":0,\"peer\":-1,\"detail\":\"HELLO code=3\"}\n" +
+		"{\"at\":0.2,\"kind\":\"discovery\",\"node\":1,\"peer\":0}\n"
+	back, err := ReadJSONL(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d events, want 2", len(back))
+	}
+	for i, e := range back {
+		if e.Span != 0 || e.Parent != 0 {
+			t.Errorf("legacy event %d gained span identity: %+v", i, e)
+		}
+	}
+	if back[0].Kind != KindTx || back[1].Kind != KindDiscovery {
+		t.Fatalf("legacy kinds mangled: %+v", back)
 	}
 }
 

@@ -11,6 +11,8 @@ import (
 	"io"
 	"strings"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // Sink consumes protocol events. Implementations must tolerate concurrent
@@ -66,6 +68,8 @@ const (
 	KindCrash
 	KindRestart
 	KindRetry
+	KindSpanStart
+	KindSpanEnd
 )
 
 func (k Kind) String() string {
@@ -90,6 +94,10 @@ func (k Kind) String() string {
 		return "restart"
 	case KindRetry:
 		return "retry"
+	case KindSpanStart:
+		return "span_start"
+	case KindSpanEnd:
+		return "span_end"
 	default:
 		return "unknown"
 	}
@@ -102,17 +110,29 @@ type Event struct {
 	Node   int    // acting node (-1 when not applicable)
 	Peer   int    // counterpart node (-1 when not applicable)
 	Detail string // free-form context ("HELLO code=17", "via M-NDP", …)
+	// Span/Parent carry causal-span identity for KindSpanStart/KindSpanEnd
+	// events (see span.go); 0 elsewhere.
+	Span   SpanID
+	Parent SpanID
 }
 
 // String renders the event as one line.
 func (e Event) String() string {
+	spans := ""
+	if e.Span != 0 {
+		if e.Parent != 0 {
+			spans = fmt.Sprintf(" span=%d parent=%d", e.Span, e.Parent)
+		} else {
+			spans = fmt.Sprintf(" span=%d", e.Span)
+		}
+	}
 	switch {
 	case e.Node >= 0 && e.Peer >= 0:
-		return fmt.Sprintf("%10.6fs %-10s node=%d peer=%d %s", e.At, e.Kind, e.Node, e.Peer, e.Detail)
+		return fmt.Sprintf("%10.6fs %-10s node=%d peer=%d %s%s", e.At, e.Kind, e.Node, e.Peer, e.Detail, spans)
 	case e.Node >= 0:
-		return fmt.Sprintf("%10.6fs %-10s node=%d %s", e.At, e.Kind, e.Node, e.Detail)
+		return fmt.Sprintf("%10.6fs %-10s node=%d %s%s", e.At, e.Kind, e.Node, e.Detail, spans)
 	default:
-		return fmt.Sprintf("%10.6fs %-10s %s", e.At, e.Kind, e.Detail)
+		return fmt.Sprintf("%10.6fs %-10s %s%s", e.At, e.Kind, e.Detail, spans)
 	}
 }
 
@@ -121,11 +141,12 @@ func (e Event) String() string {
 // callers can emit unconditionally. All methods are goroutine-safe, so a
 // single Recorder can be shared across parallel campaign runs.
 type Recorder struct {
-	mu      sync.Mutex
-	cap     int
-	events  []Event
-	start   int // ring start index
-	dropped int
+	mu       sync.Mutex
+	cap      int
+	events   []Event
+	start    int // ring start index
+	dropped  int
+	droppedC *metrics.Counter
 }
 
 // Recorder is the canonical Sink implementation.
@@ -153,6 +174,26 @@ func (r *Recorder) Emit(e Event) {
 	r.events[r.start] = e
 	r.start = (r.start + 1) % r.cap
 	r.dropped++
+	if r.droppedC != nil {
+		r.droppedC.Inc()
+	}
+}
+
+// Instrument surfaces the recorder's eviction count as the
+// jrsnd_trace_dropped_total counter, so a silently truncated trace shows
+// up in scraped metrics instead of lying by omission. Evictions that
+// happened before Instrument are folded in. Safe on a nil receiver.
+func (r *Recorder) Instrument(reg *metrics.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.droppedC = reg.Counter("jrsnd_trace_dropped_total",
+		"Trace events evicted from the bounded recorder ring (truncated trace).")
+	if r.dropped > 0 {
+		r.droppedC.Add(uint64(r.dropped))
+	}
 }
 
 // Len returns the number of retained events.

@@ -134,7 +134,7 @@ func TestDumpAndCounts(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for _, k := range []Kind{KindTx, KindJammed, KindRx, KindDiscovery, KindExpiry, KindRevocation, KindDrop, KindCrash, KindRestart, KindRetry} {
+	for _, k := range []Kind{KindTx, KindJammed, KindRx, KindDiscovery, KindExpiry, KindRevocation, KindDrop, KindCrash, KindRestart, KindRetry, KindSpanStart, KindSpanEnd} {
 		if k.String() == "unknown" {
 			t.Fatalf("kind %d has no name", k)
 		}
