@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench lint prof benchgate
+.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench authd-crash lint prof benchgate
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ tier1: build
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) authd-smoke
+	$(MAKE) authd-crash
 	$(MAKE) benchgate
 
 # benchgate measures the hot-path benchmarks (sim scheduler, DSSS receive
@@ -50,6 +51,15 @@ race:
 authd-smoke:
 	$(GO) test -race -run 'TestAuthdSmoke|TestLoadgenLoopback' ./cmd/jrsnd-authority
 
+# authd-crash runs the crash-fault injection harness: the in-process
+# crash matrix (panic-based hooks at every WAL/snapshot crash point),
+# then a subprocess kill-restart loop that boots the real binary armed to
+# exit(137) at each point, hammers it with the loadgen, and verifies the
+# recovery invariants against a ledger of acknowledged mutations. Exits 1
+# on any violation. See docs/authority.md.
+authd-crash:
+	$(GO) run ./cmd/jrsnd-authority -crash-harness -crash-cycles 2
+
 # authd-bench re-measures the service baseline archived in BENCH_authd.json:
 # handler micro-benches plus a loadgen run over real loopback HTTP.
 authd-bench:
@@ -66,13 +76,15 @@ prof:
 	$(GO) run ./cmd/jrsnd-report -trace prof/traces -trace-only -folded prof/flame.folded -o prof/spans.md
 
 # fuzz runs every native fuzz target (wire decoder, handshake transcript,
-# DSSS sync window, authd request decoder) for FUZZTIME each. Out of
-# tier1: run it before releases or after touching a codec or receive path.
+# DSSS sync window, authd request decoder, WAL replay/boot path) for
+# FUZZTIME each. Out of tier1: run it before releases or after touching a
+# codec, receive path, or the durability layer.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzHandshakeTranscript -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzSyncWindow -fuzztime $(FUZZTIME) ./internal/dsss
 	$(GO) test -run xxx -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME) ./internal/authd
+	$(GO) test -run xxx -fuzz FuzzReplayWAL -fuzztime $(FUZZTIME) ./internal/authd
 
 # vuln scans the module against the Go vulnerability database. Out of
 # tier1: needs network access and the govulncheck tool

@@ -1,0 +1,504 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/authd"
+	"repro/internal/codepool"
+)
+
+// Crash-fault harness (`jrsnd-authority -crash-harness`, `make
+// authd-crash`). Two phases:
+//
+// Phase 1 runs the in-process matrix (authd.RunCrashMatrix) exhaustively:
+// every crash point, many cycles, with the panic-based hook standing in
+// for process death.
+//
+// Phase 2 is the real thing: for each crash point it re-executes this
+// binary as a durable server armed to os.Exit(137) at that point, hammers
+// it over HTTP with the load generator plus a tracked client whose
+// acknowledged responses form a ledger, waits for the child to die, then
+// boots a clean child on the same data directory and checks the four
+// recovery invariants against the ledger: no double-assigned slot (every
+// acked node still holds exactly its acked codes), no lost acknowledged
+// mutation, exactly-one-revocation, monotonic epoch. Each verify child is
+// stopped with SIGTERM, so graceful drain-flushes-WAL is exercised every
+// cycle: mutations acked just before the SIGTERM must survive into the
+// next cycle's recovery.
+//
+// Any violation → exit 1.
+
+// crashExitCode is how an armed child dies — the conventional SIGKILL
+// status, distinguishable from flag errors (2) and ordinary failures (1).
+const crashExitCode = 137
+
+// harness pool sizing: small enough that provisions exhaust and joins
+// trigger expansion rounds (epoch bumps) within a cycle's traffic.
+const (
+	harnessN     = 96
+	harnessM     = 8
+	harnessL     = 4
+	harnessGamma = 3
+)
+
+// harnessLedger accumulates acknowledged state across every child of one
+// crash point. Only fully received responses enter it, so everything in
+// here was acknowledged and must survive any crash.
+type harnessLedger struct {
+	mu             sync.Mutex
+	nodes          map[int][]codepool.CodeID
+	maxEpoch       int
+	revCode        int32
+	revAcks        int
+	revokedNowAcks int
+	violations     []string
+}
+
+func newLedger(revCode int32) *harnessLedger {
+	return &harnessLedger{nodes: map[int][]codepool.CodeID{}, revCode: revCode}
+}
+
+func (l *harnessLedger) violate(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.violations = append(l.violations, fmt.Sprintf(format, args...))
+}
+
+func (l *harnessLedger) ackAssign(node int, codes []codepool.CodeID, epoch int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.nodes[node]; ok && !equalCodes(prev, codes) {
+		l.violations = append(l.violations,
+			fmt.Sprintf("node %d acked twice with different codes: %v then %v", node, prev, codes))
+		return
+	}
+	l.nodes[node] = append([]codepool.CodeID(nil), codes...)
+	if epoch > l.maxEpoch {
+		l.maxEpoch = epoch
+	}
+}
+
+func (l *harnessLedger) ackRevoke(res authd.RevokeResult) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.revAcks++
+	if res.RevokedNow {
+		l.revokedNowAcks++
+		if l.revokedNowAcks > 1 {
+			l.violations = append(l.violations,
+				fmt.Sprintf("code %d acknowledged RevokedNow %d times", l.revCode, l.revokedNowAcks))
+		}
+	}
+}
+
+func equalCodes(a, b []codepool.CodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func runCrashHarness(opts options, out io.Writer) (int, error) {
+	cycles := opts.crashCycles
+	if cycles < 1 {
+		cycles = 1
+	}
+
+	// Phase 1: in-process matrix, more cycles than the tier1-bounded test.
+	matrixDir, err := os.MkdirTemp("", "jrsnd-crash-matrix-*")
+	if err != nil {
+		return 1, err
+	}
+	defer os.RemoveAll(matrixDir)
+	fmt.Fprintf(out, "crash-harness: phase 1 — in-process matrix (%d points)\n", len(authd.CrashPoints))
+	mp := serverConfig(opts).Params
+	mp.N, mp.M, mp.L, mp.Gamma, mp.Q = harnessN, harnessM, harnessL, harnessGamma, 0
+	reports, err := authd.RunCrashMatrix(authd.CrashConfig{
+		Dir:         matrixDir,
+		Params:      mp,
+		Seed:        opts.seed,
+		Cycles:      3 * cycles,
+		OpsPerCycle: 64,
+	})
+	if err != nil {
+		return 1, err
+	}
+	fmt.Fprint(out, authd.FormatCrashReports(reports))
+	for _, r := range reports {
+		if !r.Passed() {
+			return 1, fmt.Errorf("in-process matrix: crash point %s violated invariants", r.Point)
+		}
+	}
+
+	// Phase 2: subprocess kill-restart loop.
+	exe, err := os.Executable()
+	if err != nil {
+		return 1, fmt.Errorf("locating own binary: %w", err)
+	}
+	work := opts.crashDir
+	ephemeral := work == ""
+	if ephemeral {
+		if work, err = os.MkdirTemp("", "jrsnd-crash-proc-*"); err != nil {
+			return 1, err
+		}
+	} else if err := os.MkdirAll(work, 0o755); err != nil {
+		return 1, err
+	}
+
+	failed := false
+	for _, pt := range authd.CrashPoints {
+		fmt.Fprintf(out, "crash-harness: phase 2 — subprocess kill-restart at %s\n", pt)
+		led := newLedger(3)
+		dir := filepath.Join(work, "proc-"+string(pt))
+		for cycle := 0; cycle < cycles; cycle++ {
+			if err := runKillCycle(exe, dir, pt, cycle, opts.seed, led); err != nil {
+				led.violate("cycle %d: %v", cycle, err)
+				break
+			}
+		}
+		// One last clean boot so mutations acked during the final cycle's
+		// graceful pass are verified too.
+		if len(led.violations) == 0 {
+			if err := verifyCleanBoot(exe, dir, opts.seed, led); err != nil {
+				led.violate("final verification: %v", err)
+			}
+		}
+		if n := len(led.violations); n > 0 {
+			failed = true
+			fmt.Fprintf(out, "crash-harness: %s FAILED (%d violations)\n", pt, n)
+			for _, v := range led.violations {
+				fmt.Fprintf(out, "  violation: %s\n", v)
+			}
+		} else {
+			fmt.Fprintf(out, "crash-harness: %s ok (%d acked nodes, %d revoke acks, epoch %d)\n",
+				pt, len(led.nodes), led.revAcks, led.maxEpoch)
+		}
+	}
+	if failed {
+		return 1, errors.New("crash harness detected invariant violations")
+	}
+	if ephemeral {
+		os.RemoveAll(work)
+	}
+	fmt.Fprintln(out, "crash-harness: all crash points survived kill-restart with invariants intact")
+	return 0, nil
+}
+
+// runKillCycle runs one crash → recover → verify round: an armed child is
+// driven until it dies at its crash point, then a clean child recovers the
+// same directory, the ledger is checked against it, a few more tracked
+// mutations are acked, and it is drained with SIGTERM.
+func runKillCycle(exe, dir string, pt authd.CrashPoint, cycle int, seed int64, led *harnessLedger) error {
+	// Append points fire per mutation; snapshot points fire once per
+	// snapshot, so those children snapshot aggressively and crash on a
+	// low hit count. Staggering by cycle moves the cut through the
+	// workload (and across snapshot boundaries, since the directory's
+	// mutation count carries over).
+	crashAfter, snapEvery := 25+40*cycle, 64
+	if pt == authd.CrashMidSnapshot || pt == authd.CrashMidTruncate {
+		crashAfter, snapEvery = 1+cycle, 16
+	}
+	armed := []string{
+		"-crash-point", string(pt),
+		"-crash-after", strconv.Itoa(crashAfter),
+	}
+	ch, err := startChild(exe, dir, snapEvery, seed, armed)
+	if err != nil {
+		return fmt.Errorf("armed child: %w", err)
+	}
+
+	// Hammer it until it dies: background load (revoke weight 0 so the
+	// tracked client owns all revocation accounting) plus tracked ops.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _ = authd.RunLoad(ctx, authd.LoadConfig{
+			Target:       ch.url,
+			Workers:      3,
+			Requests:     200_000,
+			MixProvision: 55,
+			MixJoin:      45,
+			MixRevoke:    0,
+			Seed:         seed + int64(cycle),
+			Timeout:      5 * time.Second,
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		trackedOps(ctx, ch.url, led, 0)
+	}()
+
+	state, werr := ch.wait(90 * time.Second)
+	cancel()
+	wg.Wait()
+	if werr != nil {
+		return fmt.Errorf("armed child never died: %w (output:\n%s)", werr, ch.output())
+	}
+	if state != crashExitCode {
+		return fmt.Errorf("armed child exited %d, want %d (output:\n%s)", state, crashExitCode, ch.output())
+	}
+
+	// Recover on a clean child and verify every acked mutation survived;
+	// then ack a few more mutations and drain it gracefully, so the next
+	// cycle also proves SIGTERM flushed the WAL.
+	v, err := startChild(exe, dir, snapEvery, seed, nil)
+	if err != nil {
+		return fmt.Errorf("recovery child: %w", err)
+	}
+	verifyLedger(v.url, led)
+	trackedOps(context.Background(), v.url, led, 6)
+	if err := v.terminate(); err != nil {
+		return fmt.Errorf("graceful drain: %w (output:\n%s)", err, v.output())
+	}
+	return nil
+}
+
+// verifyCleanBoot boots one more clean child and re-checks the ledger —
+// covering mutations acked after the last cycle's verification.
+func verifyCleanBoot(exe, dir string, seed int64, led *harnessLedger) error {
+	v, err := startChild(exe, dir, 64, seed, nil)
+	if err != nil {
+		return err
+	}
+	verifyLedger(v.url, led)
+	return v.terminate()
+}
+
+// trackedOps drives acknowledged mutations into the ledger. With n == 0
+// it runs until ctx is cancelled (racing a crash — errors are expected
+// and simply not recorded); with n > 0 it performs exactly n acked ops
+// against a healthy server and fails the ledger if any errors.
+func trackedOps(ctx context.Context, url string, led *harnessLedger, n int) {
+	cl := &authd.Client{Base: url, ClientID: "crash-harness", MaxAttempts: 1}
+	mustAck := n > 0
+	for i := 0; n == 0 || i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		opCtx, cancelOp := context.WithTimeout(ctx, 5*time.Second)
+		var err error
+		switch i % 4 {
+		case 0, 1:
+			var res authd.ProvisionResponse
+			if res, err = cl.Provision(opCtx, 1, "tracked"); err == nil {
+				for _, a := range res.Nodes {
+					led.ackAssign(a.Node, a.Codes, res.Epoch)
+				}
+			}
+		case 2:
+			var res authd.JoinResponse
+			if res, err = cl.Join(opCtx, "tracked"); err == nil {
+				led.ackAssign(res.Node, res.Codes, res.Epoch)
+			}
+		default:
+			var res authd.RevokeResult
+			if res, err = cl.Revoke(opCtx, led.revCode); err == nil {
+				led.ackRevoke(res)
+			}
+		}
+		cancelOp()
+		if err != nil && !errors.Is(err, authd.ErrExhausted) {
+			if mustAck {
+				led.violate("tracked op against healthy server failed: %v", err)
+				return
+			}
+			// Racing a crash: the child is dead or dying. Stop hammering.
+			return
+		}
+	}
+}
+
+// verifyLedger checks every recovery invariant against a freshly
+// recovered server.
+func verifyLedger(url string, led *harnessLedger) {
+	cl := &authd.Client{Base: url, ClientID: "crash-verify"}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Monotonic epoch: recovery must never report an epoch older than one
+	// a client saw acknowledged.
+	info, err := cl.Epoch(ctx)
+	if err != nil {
+		led.violate("epoch probe after recovery: %v", err)
+		return
+	}
+	led.mu.Lock()
+	maxEpoch, nodes := led.maxEpoch, make(map[int][]codepool.CodeID, len(led.nodes))
+	for n, c := range led.nodes {
+		nodes[n] = c
+	}
+	revAcks := led.revAcks
+	led.mu.Unlock()
+	if info.Epoch < maxEpoch {
+		led.violate("epoch went backwards: recovered %d < acked %d", info.Epoch, maxEpoch)
+	}
+
+	// No lost acknowledged mutation / no double assignment: every acked
+	// node must still exist with exactly its acked code set.
+	for node, codes := range nodes {
+		ni, err := cl.Node(ctx, node)
+		if err != nil {
+			led.violate("acked node %d lost after recovery: %v", node, err)
+			continue
+		}
+		if !equalCodes(ni.Codes, codes) {
+			led.violate("acked node %d recovered with codes %v, acked %v", node, ni.Codes, codes)
+		}
+	}
+
+	// Revocation durability + exactly-once: past γ acknowledged reports
+	// the code must be revoked, and re-reporting a revoked code must not
+	// claim RevokedNow again. The probe report is itself acked, so it
+	// joins the ledger.
+	if revAcks > harnessGamma {
+		res, err := cl.Revoke(ctx, led.revCode)
+		if err != nil {
+			led.violate("revoke probe after recovery: %v", err)
+			return
+		}
+		led.ackRevoke(res)
+		if !res.Revoked {
+			led.violate("code %d had %d acked reports (γ=%d) but recovered unrevoked",
+				led.revCode, revAcks, harnessGamma)
+		}
+	}
+}
+
+// child is one subprocess server instance.
+type child struct {
+	cmd    *exec.Cmd
+	url    string
+	lines  bytes.Buffer
+	mu     sync.Mutex
+	exited chan int // exit status, buffered
+}
+
+// startChild launches `exe` as a durable server on an ephemeral port,
+// waits for its "serving on" line, and returns it running.
+func startChild(exe, dir string, snapEvery int, seed int64, extra []string) (*child, error) {
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dir,
+		"-n", strconv.Itoa(harnessN),
+		"-m", strconv.Itoa(harnessM),
+		"-l", strconv.Itoa(harnessL),
+		"-gamma", strconv.Itoa(harnessGamma),
+		"-seed", strconv.FormatInt(seed, 10),
+		"-rate", "-1",
+		"-snapshot-every", strconv.Itoa(snapEvery),
+	}
+	args = append(args, extra...)
+	c := &child{cmd: exec.Command(exe, args...), exited: make(chan int, 1)}
+	stdout, err := c.cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	c.cmd.Stderr = &lockedWriter{c: c}
+
+	addrCh := make(chan string, 1)
+	if err := c.cmd.Start(); err != nil {
+		return nil, err
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			c.mu.Lock()
+			c.lines.WriteString(line)
+			c.lines.WriteByte('\n')
+			c.mu.Unlock()
+			if i := strings.Index(line, "serving on http://"); i >= 0 {
+				fields := strings.Fields(line[i+len("serving on "):])
+				select {
+				case addrCh <- fields[0]:
+				default:
+				}
+			}
+		}
+		err := c.cmd.Wait()
+		code := 0
+		var xe *exec.ExitError
+		if errors.As(err, &xe) {
+			code = xe.ExitCode()
+		} else if err != nil {
+			code = -1
+		}
+		c.exited <- code
+	}()
+
+	select {
+	case c.url = <-addrCh:
+		return c, nil
+	case code := <-c.exited:
+		c.exited <- code // keep it readable for wait()
+		return nil, fmt.Errorf("child exited %d before serving (output:\n%s)", code, c.output())
+	case <-time.After(30 * time.Second):
+		_ = c.cmd.Process.Kill()
+		return nil, fmt.Errorf("child never reported its address (output:\n%s)", c.output())
+	}
+}
+
+// wait blocks until the child exits on its own (the armed crash) and
+// returns its exit status.
+func (c *child) wait(timeout time.Duration) (int, error) {
+	select {
+	case code := <-c.exited:
+		return code, nil
+	case <-time.After(timeout):
+		_ = c.cmd.Process.Kill()
+		<-c.exited
+		return 0, errors.New("timed out waiting for the armed crash")
+	}
+}
+
+// terminate sends SIGTERM and requires a clean graceful drain (exit 0).
+func (c *child) terminate() error {
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	code, err := c.wait(30 * time.Second)
+	if err != nil {
+		return err
+	}
+	if code != 0 {
+		return fmt.Errorf("graceful shutdown exited %d", code)
+	}
+	return nil
+}
+
+func (c *child) output() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lines.String()
+}
+
+// lockedWriter folds the child's stderr into the same line buffer.
+type lockedWriter struct{ c *child }
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.c.mu.Lock()
+	defer w.c.mu.Unlock()
+	return w.c.lines.Write(p)
+}

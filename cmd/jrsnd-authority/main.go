@@ -7,9 +7,18 @@
 // workload — against -target, or against a private in-process server on
 // a loopback ephemeral port — and prints throughput and p50/p99 latency.
 //
+// With -data-dir the authority is durable: every acknowledged mutation
+// hits a write-ahead log before the response, periodic snapshots bound
+// replay time, and a restart recovers the exact acknowledged state. The
+// crash-fault flags exist for the harness: -crash-point kills the
+// process (exit 137) at a named durability step, and -crash-harness runs
+// the full kill-restart matrix against a real subprocess under load.
+//
 //	jrsnd-authority -addr 127.0.0.1:7946 -n 2000 -m 100 -l 40
+//	jrsnd-authority -addr 127.0.0.1:7946 -data-dir /var/lib/jrsnd
 //	jrsnd-authority -loadgen -requests 5000 -workers 8
 //	jrsnd-authority -loadgen -target http://127.0.0.1:7946 -mix 50,25,25
+//	jrsnd-authority -crash-harness -crash-cycles 2
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -41,6 +51,16 @@ type options struct {
 	rate   float64
 	burst  int
 	pprof  bool
+
+	dataDir    string
+	snapEvery  int
+	fsyncEvery int
+
+	crashPoint   string
+	crashAfter   int
+	crashHarness bool
+	crashCycles  int
+	crashDir     string
 
 	loadgen  bool
 	target   string
@@ -63,6 +83,14 @@ func main() {
 	flag.Float64Var(&opts.rate, "rate", 0, "per-client req/s (0 = default 64, negative = unlimited)")
 	flag.IntVar(&opts.burst, "burst", 0, "per-client burst (0 = default)")
 	flag.BoolVar(&opts.pprof, "pprof", false, "mount /debug/pprof/ and fold Go runtime gauges into /metrics")
+	flag.StringVar(&opts.dataDir, "data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory")
+	flag.IntVar(&opts.snapEvery, "snapshot-every", 0, "snapshot+truncate after this many mutations (0 = default 4096, negative = off)")
+	flag.IntVar(&opts.fsyncEvery, "fsync-every", 0, "WAL appends per fsync (0 or 1 = every append)")
+	flag.StringVar(&opts.crashPoint, "crash-point", "", "crash-fault injection: os.Exit(137) at this WAL/snapshot point (requires -data-dir)")
+	flag.IntVar(&opts.crashAfter, "crash-after", 1, "crash at the Nth hit of -crash-point")
+	flag.BoolVar(&opts.crashHarness, "crash-harness", false, "run the crash-fault harness: in-process matrix + subprocess kill-restart loop")
+	flag.IntVar(&opts.crashCycles, "crash-cycles", 2, "crash harness: kill-restart cycles per crash point")
+	flag.StringVar(&opts.crashDir, "crash-dir", "", "crash harness: working directory (empty = a temp dir, removed on success)")
 	flag.BoolVar(&opts.loadgen, "loadgen", false, "run the load generator instead of serving")
 	flag.StringVar(&opts.target, "target", "", "loadgen target URL (empty = boot an in-process server)")
 	flag.IntVar(&opts.workers, "workers", 8, "loadgen concurrent workers")
@@ -82,13 +110,39 @@ func main() {
 // run executes one mode and returns the process exit code. Exit 2 marks
 // bad flag combinations, matching the jrsnd-sim convention.
 func run(opts options, out io.Writer) (int, error) {
+	if opts.crashHarness {
+		if opts.loadgen || opts.crashPoint != "" {
+			return 2, fmt.Errorf("-crash-harness excludes -loadgen and -crash-point")
+		}
+		return runCrashHarness(opts, out)
+	}
+	if opts.crashPoint != "" {
+		if opts.dataDir == "" {
+			return 2, fmt.Errorf("-crash-point requires -data-dir")
+		}
+		if !validCrashPoint(opts.crashPoint) {
+			return 2, fmt.Errorf("unknown crash point %q (valid: %v)", opts.crashPoint, authd.CrashPoints)
+		}
+	}
 	if opts.loadgen {
+		if opts.dataDir != "" {
+			return 2, fmt.Errorf("-data-dir is a server-mode flag; point -loadgen at a durable server with -target")
+		}
 		return runLoadgen(opts, out)
 	}
 	if opts.target != "" {
 		return 2, fmt.Errorf("-target requires -loadgen")
 	}
 	return runServer(opts, out)
+}
+
+func validCrashPoint(name string) bool {
+	for _, p := range authd.CrashPoints {
+		if string(p) == name {
+			return true
+		}
+	}
+	return false
 }
 
 func serverConfig(opts options) authd.Config {
@@ -101,11 +155,32 @@ func serverConfig(opts options) authd.Config {
 		Rate:            opts.rate,
 		Burst:           opts.burst,
 		EnableProfiling: opts.pprof,
+		Durable: authd.Durability{
+			Dir:           opts.dataDir,
+			SnapshotEvery: opts.snapEvery,
+			FsyncEvery:    opts.fsyncEvery,
+		},
 	}
 }
 
 func runServer(opts options, out io.Writer) (int, error) {
-	srv, err := authd.New(serverConfig(opts))
+	cfg := serverConfig(opts)
+	if opts.crashPoint != "" {
+		// Armed crash: die with the conventional SIGKILL code at the Nth
+		// hit, simulating a power cut at exactly that durability step.
+		target := authd.CrashPoint(opts.crashPoint)
+		after := int64(opts.crashAfter)
+		if after < 1 {
+			after = 1
+		}
+		var hits atomic.Int64
+		cfg.Durable.CrashHook = func(p authd.CrashPoint) {
+			if p == target && hits.Add(1) == after {
+				os.Exit(crashExitCode)
+			}
+		}
+	}
+	srv, err := authd.New(cfg)
 	if err != nil {
 		return 1, err
 	}

@@ -130,6 +130,18 @@ func TestBadFlagCombos(t *testing.T) {
 	if code, err := run(options{loadgen: true, mix: "0,0,0"}, &out); code != 2 || err == nil {
 		t.Fatalf("zero mix: code %d err %v, want 2 + error", code, err)
 	}
+	if code, err := run(options{crashPoint: "post-append"}, &out); code != 2 || err == nil {
+		t.Fatalf("-crash-point without -data-dir: code %d err %v, want 2 + error", code, err)
+	}
+	if code, err := run(options{crashPoint: "nonsense", dataDir: t.TempDir()}, &out); code != 2 || err == nil {
+		t.Fatalf("unknown crash point: code %d err %v, want 2 + error", code, err)
+	}
+	if code, err := run(options{crashHarness: true, loadgen: true}, &out); code != 2 || err == nil {
+		t.Fatalf("-crash-harness with -loadgen: code %d err %v, want 2 + error", code, err)
+	}
+	if code, err := run(options{loadgen: true, mix: "1,1,1", dataDir: t.TempDir()}, &out); code != 2 || err == nil {
+		t.Fatalf("-loadgen with -data-dir: code %d err %v, want 2 + error", code, err)
+	}
 }
 
 func TestParseMix(t *testing.T) {

@@ -93,6 +93,11 @@ type Config struct {
 	// scrape time. Off by default: profiling endpoints are diagnostic
 	// surface and ReadMemStats stops the world.
 	EnableProfiling bool
+	// Durable enables the write-ahead log + snapshot layer (wal.go,
+	// snapshot.go, recover.go): every mutation is logged before it is
+	// acknowledged and New replays the directory's history on boot. The
+	// zero value keeps the server fully in-memory.
+	Durable Durability
 
 	// now is the wall clock, injectable for rate-limiter tests.
 	now func() time.Time
@@ -125,6 +130,19 @@ type Server struct {
 	tracer *trace.Tracer             // nil when cfg.Trace is nil
 	rc     *metrics.RuntimeCollector // nil unless cfg.EnableProfiling
 	start  time.Time                 // span-timestamp epoch
+
+	// Durability (nil/zero when Config.Durable.Dir is empty). Lock order
+	// is poolMu before wal.mu: every mutator appends while holding at
+	// least poolMu's read side, so Snapshot's write lock is a consistent
+	// cut of memory *and* log.
+	wal        *wal
+	dataDir    string
+	crashHook  CrashHook     // crash-fault injection; nil in production
+	snapMu     sync.Mutex    // serializes Snapshot
+	snapSeq    atomic.Uint64 // last WAL sequence the durable snapshot covers
+	snapEvery  int           // auto-snapshot cadence in mutations; <=0 off
+	mutations  atomic.Int64  // acknowledged mutations since the last snapshot
+	lastSnapAt atomic.Int64  // unix ns of the last durable snapshot (boot time if none)
 
 	httpSrv  *http.Server
 	inflight sync.WaitGroup
@@ -198,6 +216,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Rate > 0 {
 		s.rl = newLimiter(cfg.Shards, cfg.Rate, cfg.Burst, cfg.now)
 	}
+	if cfg.Durable.Dir != "" {
+		if err := s.openDurable(cfg.Durable); err != nil {
+			return nil, err
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
@@ -224,7 +247,10 @@ func (s *Server) Start(addr string) (string, error) {
 
 // Shutdown drains the service gracefully: the listener closes, in-flight
 // requests run to completion (both the HTTP server's connection tracking
-// and the handler-level WaitGroup are awaited), and ctx bounds the wait.
+// and the handler-level WaitGroup are awaited), the WAL is fsynced and
+// closed, and ctx bounds the wait. After Shutdown a durable server
+// refuses further mutations (ErrWALClosed) — reopen the directory with
+// New to resume.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if s.httpSrv != nil {
@@ -234,10 +260,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() { s.inflight.Wait(); close(done) }()
 	select {
 	case <-done:
-		return err
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	if s.wal != nil {
+		if werr := s.wal.close(); err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 // Epoch returns the current distribution epoch: the number of §V-A batch
@@ -251,7 +282,11 @@ func (s *Server) Epoch() int {
 // provision claims up to count deployment slots and records their
 // assignments. The slot cursor is an atomic add, so concurrent calls get
 // disjoint ranges without touching a lock; only the per-slot record
-// insert takes (sharded) locks.
+// insert takes (sharded) locks. On a durable server the claimed range is
+// appended to the WAL before the call returns — the acknowledgment
+// implies the batch will survive a crash — still under poolMu's read
+// side, so a snapshot can never slice between the registry insert and the
+// log record.
 func (s *Server) provision(count int, tag string) ([]Assignment, error) {
 	n := int64(s.cfg.Params.N)
 	start := s.nextSlot.Add(int64(count)) - int64(count)
@@ -269,30 +304,51 @@ func (s *Server) provision(count int, tag string) ([]Assignment, error) {
 	for node := start; node < end; node++ {
 		codes := s.pool.Codes(int(node))
 		if err := s.reg.insert(int(node), record{Codes: codes, Tag: tag, Via: "provision", At: now}); err != nil {
+			s.poison(err)
 			return nil, err
 		}
 		out = append(out, Assignment{Node: int(node), Codes: codes})
 		s.m.provisionedNodes.Inc()
 	}
+	if s.wal != nil {
+		err := s.wal.append(walRecord{
+			Kind: walProvision, Start: int(start), Count: int(end - start),
+			Tag: tag, At: now.UnixNano(),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
 }
 
 // join admits one late node per §V-A, reporting whether the admission
-// forced a batch expansion (and therefore advanced the epoch).
+// forced a batch expansion (and therefore advanced the epoch). Pool
+// mutation, registry insert, and WAL append all happen under the write
+// lock: the logged join order IS the joinRng consumption order, which is
+// what makes replay reconstruct the pool bit for bit.
 func (s *Server) join(tag string) (Assignment, bool, error) {
+	now := s.cfg.now()
 	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
 	before := s.pool.Expansions()
 	node, err := s.pool.Join(s.joinRng)
 	if err != nil {
-		s.poolMu.Unlock()
 		return Assignment{}, false, fmt.Errorf("authd: %w", err)
 	}
 	expanded := s.pool.Expansions() > before
 	codes := s.pool.Codes(node)
-	s.poolMu.Unlock()
-
-	if err := s.reg.insert(node, record{Codes: codes, Tag: tag, Via: "join", At: s.cfg.now()}); err != nil {
+	if err := s.reg.insert(node, record{Codes: codes, Tag: tag, Via: "join", At: now}); err != nil {
+		s.poison(err)
 		return Assignment{}, false, err
+	}
+	if s.wal != nil {
+		err := s.wal.append(walRecord{
+			Kind: walJoin, Node: node, Expanded: expanded, Tag: tag, At: now.UnixNano(),
+		})
+		if err != nil {
+			return Assignment{}, false, err
+		}
 	}
 	s.m.joins.Inc()
 	if expanded {
@@ -303,15 +359,25 @@ func (s *Server) join(tag string) (Assignment, bool, error) {
 
 // revoke routes one invalid-code report through the Revoker. The
 // exactly-one-revocation guarantee is the Revoker's: of any set of
-// concurrent reports for a code, exactly one observes RevokedNow.
+// concurrent reports for a code, exactly one observes RevokedNow — and it
+// survives restarts, because the report counters are commutative and the
+// γ-crossing is a deterministic function of the replayed count. poolMu's
+// read side is held across report+append so a snapshot's cut always
+// contains a report if and only if the log (prefix) does.
 func (s *Server) revoke(code codepool.CodeID) (RevokeResult, error) {
 	s.poolMu.RLock()
+	defer s.poolMu.RUnlock()
 	poolSize := s.pool.S()
-	s.poolMu.RUnlock()
 	if int(code) < 0 || int(code) >= poolSize {
 		return RevokeResult{}, fmt.Errorf("%w: code %d outside pool [0, %d)", ErrField, code, poolSize)
 	}
 	now := s.rev.ReportInvalid(code)
+	if s.wal != nil {
+		err := s.wal.append(walRecord{Kind: walRevoke, Code: int32(code), At: s.cfg.now().UnixNano()})
+		if err != nil {
+			return RevokeResult{}, err
+		}
+	}
 	s.m.revokeReports.Inc()
 	if now {
 		s.m.revokedCodes.Inc()
@@ -322,6 +388,16 @@ func (s *Server) revoke(code codepool.CodeID) (RevokeResult, error) {
 		Revoked:    s.rev.Revoked(code),
 		RevokedNow: now,
 	}, nil
+}
+
+// poison marks the durable layer failed after a memory/log divergence
+// (state applied but unloggable): the server stops acknowledging
+// mutations rather than let memory drift ahead of what a restart could
+// reconstruct. No-op when not durable.
+func (s *Server) poison(err error) {
+	if s.wal != nil {
+		s.wal.poison(err)
+	}
 }
 
 // epochInfo snapshots the distribution-state counters for GET /v1/epoch.

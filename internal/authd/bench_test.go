@@ -3,10 +3,12 @@ package authd
 import (
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/metrics"
 )
 
 // Service-level micro-benches: one full handler pass (decode → sharded
@@ -74,6 +76,28 @@ func BenchmarkRevoke(b *testing.B) {
 		h.ServeHTTP(w, req)
 		if w.Code != http.StatusOK {
 			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkWALAppend measures the durability hot path: encode one
+// mutation record, write it, fsync (the default every-append policy, so
+// the number is the real cost an acknowledged mutation pays). Gated by
+// jrsnd-benchgate against BENCH_authd_go.json.
+func BenchmarkWALAppend(b *testing.B) {
+	reg := metrics.New()
+	w, err := openWAL(filepath.Join(b.TempDir(), "wal.log"), 0, 1, nil,
+		reg.Counter("bench_appends", "b"), reg.Counter("bench_fsyncs", "b"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = w.close() }()
+	rec := walRecord{Kind: walJoin, Node: 42, Expanded: false, Tag: "bench", At: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.append(rec); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -43,11 +43,32 @@ type Client struct {
 	mu sync.Mutex // guards Rand
 }
 
+// sharedTransport is the package-wide keep-alive transport every Client
+// without an explicit HTTP client rides on. One transport means one
+// connection pool: sequential requests to the same authority reuse a warm
+// TCP connection instead of re-dialing per call (the stdlib default of 2
+// idle conns per host collapses under the loadgen's 8 workers and
+// understates service throughput).
+var sharedTransport = &http.Transport{
+	Proxy:               http.ProxyFromEnvironment,
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// sharedHTTPClient pairs the shared transport with the default request
+// timeout; http.Client is stateless beyond its transport, so one instance
+// serves every Client concurrently.
+var sharedHTTPClient = &http.Client{
+	Timeout:   10 * time.Second,
+	Transport: sharedTransport,
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{Timeout: 10 * time.Second}
+	return sharedHTTPClient
 }
 
 func (c *Client) attempts() int {

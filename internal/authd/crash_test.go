@@ -1,0 +1,47 @@
+package authd
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrashMatrixBounded is the tier1-resident slice of the crash-fault
+// harness: a few kill-restart cycles at every crash point, asserting the
+// four recovery invariants (no double assignment, no lost acknowledged
+// mutation, exactly-one-revocation, monotonic epoch). `make authd-crash`
+// runs the exhaustive version plus the subprocess kill-restart loop.
+func TestCrashMatrixBounded(t *testing.T) {
+	reports, err := RunCrashMatrix(CrashConfig{
+		Dir:           t.TempDir(),
+		Params:        durableParams(),
+		Seed:          3,
+		Cycles:        3,
+		OpsPerCycle:   32,
+		SnapshotEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(CrashPoints) {
+		t.Fatalf("%d reports for %d points", len(reports), len(CrashPoints))
+	}
+	crashes := 0
+	for _, r := range reports {
+		if !r.Passed() {
+			t.Errorf("crash point %s violated invariants:\n%s", r.Point, strings.Join(r.Violations, "\n"))
+		}
+		if r.AckedOps == 0 {
+			t.Errorf("crash point %s acknowledged no operations — the harness did no work", r.Point)
+		}
+		crashes += r.Crashes
+	}
+	if crashes == 0 {
+		t.Fatal("no cycle actually crashed — the hooks never fired")
+	}
+}
+
+func TestCrashMatrixValidation(t *testing.T) {
+	if _, err := RunCrashMatrix(CrashConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"repro/internal/codepool"
 	"repro/internal/metrics"
@@ -220,6 +221,7 @@ func (s *Server) handleProvision(_ *http.Request, body []byte) (int, any, error)
 		}
 		return 0, nil, err
 	}
+	s.noteMutation()
 	return http.StatusOK, ProvisionResponse{Nodes: nodes, Epoch: s.Epoch()}, nil
 }
 
@@ -232,6 +234,7 @@ func (s *Server) handleJoin(_ *http.Request, body []byte) (int, any, error) {
 	if err != nil {
 		return 0, nil, err
 	}
+	s.noteMutation()
 	epoch := s.Epoch()
 	s.m.epoch.SetMax(float64(epoch))
 	return http.StatusOK, JoinResponse{Node: a.Node, Codes: a.Codes, Epoch: epoch, Expanded: expanded}, nil
@@ -246,6 +249,7 @@ func (s *Server) handleRevoke(_ *http.Request, body []byte) (int, any, error) {
 	if err != nil {
 		return 0, nil, err
 	}
+	s.noteMutation()
 	return http.StatusOK, res, nil
 }
 
@@ -274,6 +278,12 @@ func (s *Server) handleHealthz(_ *http.Request, _ []byte) (int, any, error) {
 
 func (s *Server) handleMetrics(_ *http.Request, _ []byte) (int, any, error) {
 	s.rc.Collect() // nil (profiling off) is a no-op
+	if s.wal != nil {
+		// Snapshot age is computed at scrape time so the gauge is honest
+		// without a background ticker.
+		age := s.cfg.now().Sub(time.Unix(0, s.lastSnapAt.Load())).Seconds()
+		s.m.snapshotAge.Set(age)
+	}
 	var buf bytes.Buffer
 	if err := metrics.WritePrometheus(&buf, s.cfg.Metrics.Snapshot()); err != nil {
 		return 0, nil, err

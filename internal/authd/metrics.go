@@ -20,6 +20,17 @@ type serverMetrics struct {
 	exhausted        *metrics.Counter
 	inflight         *metrics.Gauge
 	epoch            *metrics.Gauge
+
+	// Durability instruments (satellite of the WAL layer). Registered
+	// unconditionally so the exposition is stable; they stay zero on an
+	// in-memory server.
+	walAppends     *metrics.Counter
+	walFsyncs      *metrics.Counter
+	walReplayed    *metrics.Counter
+	walTornTails   *metrics.Counter
+	snapshots      *metrics.Counter
+	snapshotErrors *metrics.Counter
+	snapshotAge    *metrics.Gauge
 }
 
 // metricRoutes is every route that gets per-route request instruments.
@@ -51,5 +62,12 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 	m.exhausted = reg.Counter("authd_exhausted_total", "provisions refused because deployment slots ran out")
 	m.inflight = reg.Gauge("authd_inflight_requests", "requests currently being handled")
 	m.epoch = reg.Gauge("authd_epoch", "current distribution epoch (batch expansions run)")
+	m.walAppends = reg.Counter("jrsnd_authd_wal_appends_total", "mutation records appended to the write-ahead log")
+	m.walFsyncs = reg.Counter("jrsnd_authd_wal_fsyncs_total", "fsyncs issued on the write-ahead log")
+	m.walReplayed = reg.Counter("jrsnd_authd_wal_replayed_records_total", "WAL records applied during startup recovery")
+	m.walTornTails = reg.Counter("jrsnd_authd_wal_torn_truncations_total", "torn WAL tails truncated during recovery")
+	m.snapshots = reg.Counter("jrsnd_authd_snapshots_total", "durable snapshots written")
+	m.snapshotErrors = reg.Counter("jrsnd_authd_snapshot_errors_total", "snapshot attempts that failed")
+	m.snapshotAge = reg.Gauge("jrsnd_authd_snapshot_age_seconds", "seconds since the last durable snapshot (updated at scrape)")
 	return m
 }

@@ -2,6 +2,7 @@ package authd
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -67,6 +68,30 @@ func (r *registry) get(node int) (record, bool) {
 	defer sh.mu.RUnlock()
 	rec, ok := sh.nodes[node]
 	return rec, ok
+}
+
+// regEntry pairs a node ID with its record for dumps.
+type regEntry struct {
+	Node int
+	Rec  record
+}
+
+// dump copies every record, sorted by node ID — the canonical order the
+// durability snapshot encodes. Shards are locked one at a time; callers
+// needing a consistent cut across shards (the snapshot path) hold the
+// server's poolMu write lock, which every mutator reads.
+func (r *registry) dump() []regEntry {
+	out := make([]regEntry, 0, r.count()) //jrsnd:allow boundedalloc sized by our own shard maps (every entry passed the decode limits on insert), not by untrusted wire input
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for node, rec := range sh.nodes {
+			out = append(out, regEntry{Node: node, Rec: rec})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
 }
 
 // count sums the per-shard record counts.

@@ -1,0 +1,458 @@
+package authd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/codepool"
+)
+
+// Snapshots bound replay time and let the WAL be truncated: every
+// SnapshotEvery mutations the server writes a checksummed point-in-time
+// image of its whole durable state — registry, join count, slot cursor,
+// revocation table — tagged with the WAL sequence it covers, then empties
+// the log. The write is atomic (tmp + fsync + rename + directory fsync),
+// so a crash leaves either the old snapshot or the new one, never a
+// half-written hybrid; a crash between the rename and the truncate leaves
+// a WAL whose prefix the snapshot already covers, which replay skips by
+// sequence number.
+//
+// The pool itself is NOT serialized: pool state is a pure function of
+// (Params, Seed, ordered join count) — codepool.New is deterministic in
+// its rand.Source and Join is the only mutation — so the snapshot stores
+// the join count and recovery replays that many joins to rebuild the pool
+// and the join RNG bit for bit. That keeps snapshots O(assignments)
+// instead of O(pool) and reuses the live code path, which the recovery
+// divergence check (recover.go) then cross-validates against every
+// logged join.
+//
+// Snapshot file layout (big-endian):
+//
+//	magic "JRSNDSN1" | u32 payload length | u32 CRC-32C(payload) | payload
+//
+// payload:
+//
+//	u32 n, m, l, γ | i64 seed          — identity; must match the server's
+//	u64 seq                            — WAL sequence this snapshot covers
+//	u64 cursor                         — raw deployment-slot cursor
+//	i64 takenAt (unix ns)
+//	u32 joinCount                      — §V-A joins to replay
+//	u32 registry entry count, then per entry:
+//	    u32 node | u8 via (0=provision, 1=join) | i64 at | u16 tagLen | tag
+//	u32 revocation counter count, then per entry: u32 code | u32 count
+//	u32 revoked code count, then per entry: u32 code
+
+const (
+	snapMagic = "JRSNDSN1"
+	// snapMaxPayload caps a declared payload before trusting it — the
+	// registry of a fully provisioned+joined deployment is a few MiB at
+	// the defaults; 256 MiB is an order-of-magnitude ceiling, not a target.
+	snapMaxPayload = 1 << 28
+
+	snapViaProvision = 0
+	snapViaJoin      = 1
+)
+
+// Durable file names within the data directory.
+const (
+	walFileName  = "wal.log"
+	snapFileName = "snapshot.jrsnd"
+	snapTmpName  = "snapshot.tmp"
+	metaFileName = "authority.meta"
+)
+
+// snapshotState is the decoded image.
+type snapshotState struct {
+	N, M, L, Gamma int
+	Seed           int64
+	Seq            uint64
+	Cursor         uint64
+	TakenAt        int64
+	JoinCount      int
+	Reg            []snapRegEntry
+	Counters       []snapCounter
+	Revoked        []int32
+}
+
+type snapRegEntry struct {
+	Node int
+	Via  uint8
+	At   int64
+	Tag  string
+}
+
+type snapCounter struct {
+	Code  int32
+	Count int32
+}
+
+// encodeSnapshot renders the full file, checksum included.
+func encodeSnapshot(st snapshotState) ([]byte, error) {
+	var p []byte
+	p = binary.BigEndian.AppendUint32(p, uint32(st.N))
+	p = binary.BigEndian.AppendUint32(p, uint32(st.M))
+	p = binary.BigEndian.AppendUint32(p, uint32(st.L))
+	p = binary.BigEndian.AppendUint32(p, uint32(st.Gamma))
+	p = binary.BigEndian.AppendUint64(p, uint64(st.Seed))
+	p = binary.BigEndian.AppendUint64(p, st.Seq)
+	p = binary.BigEndian.AppendUint64(p, st.Cursor)
+	p = binary.BigEndian.AppendUint64(p, uint64(st.TakenAt))
+	p = binary.BigEndian.AppendUint32(p, uint32(st.JoinCount))
+	p = binary.BigEndian.AppendUint32(p, uint32(len(st.Reg)))
+	for _, e := range st.Reg {
+		if len(e.Tag) > walMaxTag {
+			return nil, fmt.Errorf("authd: snapshot: node %d tag %d bytes > %d", e.Node, len(e.Tag), walMaxTag)
+		}
+		p = binary.BigEndian.AppendUint32(p, uint32(e.Node))
+		p = append(p, e.Via)
+		p = binary.BigEndian.AppendUint64(p, uint64(e.At))
+		p = binary.BigEndian.AppendUint16(p, uint16(len(e.Tag)))
+		p = append(p, e.Tag...)
+	}
+	p = binary.BigEndian.AppendUint32(p, uint32(len(st.Counters)))
+	for _, c := range st.Counters {
+		p = binary.BigEndian.AppendUint32(p, uint32(c.Code))
+		p = binary.BigEndian.AppendUint32(p, uint32(c.Count))
+	}
+	p = binary.BigEndian.AppendUint32(p, uint32(len(st.Revoked)))
+	for _, c := range st.Revoked {
+		p = binary.BigEndian.AppendUint32(p, uint32(c))
+	}
+
+	out := make([]byte, 0, len(snapMagic)+8+len(p))
+	out = append(out, snapMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(p)))
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(p, crcTable))
+	out = append(out, p...)
+	return out, nil
+}
+
+// snapCursor walks the payload with bounds checks on every read.
+type snapCursor struct {
+	data []byte
+	off  int
+}
+
+func (c *snapCursor) need(n int) ([]byte, error) {
+	if c.off+n > len(c.data) {
+		return nil, fmt.Errorf("authd: snapshot payload truncated at offset %d (need %d of %d)", c.off, n, len(c.data))
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *snapCursor) u32() (uint32, error) {
+	b, err := c.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (c *snapCursor) u64() (uint64, error) {
+	b, err := c.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// decodeSnapshot verifies the checksum and parses the payload. Counts are
+// cross-checked against the remaining byte budget before any loop, so a
+// hostile length can never drive allocation.
+func decodeSnapshot(data []byte) (snapshotState, error) {
+	var st snapshotState
+	if len(data) < len(snapMagic)+8 {
+		return st, fmt.Errorf("authd: snapshot file %d bytes is too short", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return st, fmt.Errorf("authd: snapshot magic mismatch")
+	}
+	plen := int(binary.BigEndian.Uint32(data[len(snapMagic) : len(snapMagic)+4]))
+	if plen > snapMaxPayload {
+		return st, fmt.Errorf("authd: snapshot payload %d bytes > %d", plen, snapMaxPayload)
+	}
+	wantCRC := binary.BigEndian.Uint32(data[len(snapMagic)+4 : len(snapMagic)+8])
+	payload := data[len(snapMagic)+8:]
+	if len(payload) != plen {
+		return st, fmt.Errorf("authd: snapshot payload %d bytes, header declares %d", len(payload), plen)
+	}
+	if crc := crc32.Checksum(payload, crcTable); crc != wantCRC {
+		return st, fmt.Errorf("authd: snapshot checksum %08x != %08x", crc, wantCRC)
+	}
+
+	c := &snapCursor{data: payload}
+	var err error
+	var v uint32
+	if v, err = c.u32(); err != nil {
+		return st, err
+	}
+	st.N = int(v)
+	if v, err = c.u32(); err != nil {
+		return st, err
+	}
+	st.M = int(v)
+	if v, err = c.u32(); err != nil {
+		return st, err
+	}
+	st.L = int(v)
+	if v, err = c.u32(); err != nil {
+		return st, err
+	}
+	st.Gamma = int(v)
+	var w uint64
+	if w, err = c.u64(); err != nil {
+		return st, err
+	}
+	st.Seed = int64(w)
+	if st.Seq, err = c.u64(); err != nil {
+		return st, err
+	}
+	if st.Cursor, err = c.u64(); err != nil {
+		return st, err
+	}
+	if w, err = c.u64(); err != nil {
+		return st, err
+	}
+	st.TakenAt = int64(w)
+	if v, err = c.u32(); err != nil {
+		return st, err
+	}
+	st.JoinCount = int(v)
+
+	regCount, err := c.u32()
+	if err != nil {
+		return st, err
+	}
+	// Each registry entry is at least 15 bytes; a count the remaining
+	// bytes cannot hold is corruption, caught before the loop allocates.
+	if int(regCount) > (len(payload)-c.off)/15 {
+		return st, fmt.Errorf("authd: snapshot declares %d registry entries in %d bytes", regCount, len(payload)-c.off)
+	}
+	for i := 0; i < int(regCount); i++ {
+		var e snapRegEntry
+		if v, err = c.u32(); err != nil {
+			return st, err
+		}
+		e.Node = int(v)
+		via, err := c.need(1)
+		if err != nil {
+			return st, err
+		}
+		e.Via = via[0]
+		if e.Via != snapViaProvision && e.Via != snapViaJoin {
+			return st, fmt.Errorf("authd: snapshot node %d via byte %d", e.Node, e.Via)
+		}
+		if w, err = c.u64(); err != nil {
+			return st, err
+		}
+		e.At = int64(w)
+		tl, err := c.need(2)
+		if err != nil {
+			return st, err
+		}
+		tagLen := int(binary.BigEndian.Uint16(tl))
+		if tagLen > walMaxTag {
+			return st, fmt.Errorf("authd: snapshot node %d tag %d bytes > %d", e.Node, tagLen, walMaxTag)
+		}
+		tag, err := c.need(tagLen)
+		if err != nil {
+			return st, err
+		}
+		e.Tag = string(tag)
+		st.Reg = append(st.Reg, e)
+	}
+
+	counterCount, err := c.u32()
+	if err != nil {
+		return st, err
+	}
+	if int(counterCount) > (len(payload)-c.off)/8 {
+		return st, fmt.Errorf("authd: snapshot declares %d counters in %d bytes", counterCount, len(payload)-c.off)
+	}
+	for i := 0; i < int(counterCount); i++ {
+		var code, cnt uint32
+		if code, err = c.u32(); err != nil {
+			return st, err
+		}
+		if cnt, err = c.u32(); err != nil {
+			return st, err
+		}
+		if code > 1<<30 || cnt > 1<<30 {
+			return st, fmt.Errorf("authd: snapshot counter code=%d count=%d out of range", code, cnt)
+		}
+		st.Counters = append(st.Counters, snapCounter{Code: int32(code), Count: int32(cnt)})
+	}
+
+	revokedCount, err := c.u32()
+	if err != nil {
+		return st, err
+	}
+	if int(revokedCount) > (len(payload)-c.off)/4 {
+		return st, fmt.Errorf("authd: snapshot declares %d revoked codes in %d bytes", revokedCount, len(payload)-c.off)
+	}
+	for i := 0; i < int(revokedCount); i++ {
+		var code uint32
+		if code, err = c.u32(); err != nil {
+			return st, err
+		}
+		if code > 1<<30 {
+			return st, fmt.Errorf("authd: snapshot revoked code %d out of range", code)
+		}
+		st.Revoked = append(st.Revoked, int32(code))
+	}
+	if c.off != len(payload) {
+		return st, fmt.Errorf("authd: snapshot has %d trailing payload bytes", len(payload)-c.off)
+	}
+	return st, nil
+}
+
+// Snapshot durably captures the server's current state and truncates the
+// WAL. Safe to call any time on a durable server; a no-op otherwise.
+// Concurrent callers serialize; mutations are excluded for the duration
+// (poolMu is the global consistency lock — every mutator holds at least
+// its read side across apply+append, so the write lock is a consistent
+// cut across all registry shards and the revocation table).
+func (s *Server) Snapshot() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked does the work; the caller holds snapMu. poolMu is held
+// through the truncate: truncating drops *every* record in the file, so
+// no append may land between the state capture and the truncate.
+func (s *Server) snapshotLocked() (err error) {
+	defer func() {
+		if err != nil {
+			s.m.snapshotErrors.Inc()
+		}
+	}()
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+
+	now := s.cfg.now()
+	st := snapshotState{
+		N: s.cfg.Params.N, M: s.cfg.Params.M, L: s.cfg.Params.L, Gamma: s.cfg.Params.Gamma,
+		Seed:      s.cfg.Seed,
+		Seq:       s.wal.lastSeq(),
+		Cursor:    uint64(s.nextSlot.Load()),
+		TakenAt:   now.UnixNano(),
+		JoinCount: s.pool.N() - s.cfg.Params.N,
+	}
+	for _, e := range s.reg.dump() {
+		via := uint8(snapViaProvision)
+		if e.Rec.Via == "join" {
+			via = snapViaJoin
+		}
+		st.Reg = append(st.Reg, snapRegEntry{Node: e.Node, Via: via, At: e.Rec.At.UnixNano(), Tag: e.Rec.Tag})
+	}
+	rev := s.rev.Dump()
+	codes := make([]codepool.CodeID, 0, len(rev.Counters))
+	for c := range rev.Counters {
+		codes = append(codes, c)
+	}
+	sortCodeIDs(codes)
+	for _, c := range codes {
+		st.Counters = append(st.Counters, snapCounter{Code: int32(c), Count: int32(rev.Counters[c])})
+	}
+	for _, c := range rev.Revoked {
+		st.Revoked = append(st.Revoked, int32(c))
+	}
+
+	data, err := encodeSnapshot(st)
+	if err != nil {
+		return err
+	}
+	if err := s.writeSnapshotFile(data); err != nil {
+		return err
+	}
+	s.fireCrash(CrashMidTruncate)
+	if err := s.wal.truncate(); err != nil {
+		return err
+	}
+	s.snapSeq.Store(st.Seq)
+	s.lastSnapAt.Store(st.TakenAt)
+	s.mutations.Store(0)
+	s.m.snapshots.Inc()
+	return nil
+}
+
+// writeSnapshotFile lands the image atomically: tmp file, fsync, rename
+// over the live name, directory fsync. The tmp write is split in two so
+// CrashMidSnapshot leaves a genuinely half-written file behind.
+func (s *Server) writeSnapshotFile(data []byte) error {
+	tmp := filepath.Join(s.dataDir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("authd: snapshot tmp: %w", err)
+	}
+	defer f.Close()
+	half := len(data) / 2
+	if _, err := f.Write(data[:half]); err != nil {
+		return fmt.Errorf("authd: snapshot write: %w", err)
+	}
+	s.fireCrash(CrashMidSnapshot)
+	if _, err := f.Write(data[half:]); err != nil {
+		return fmt.Errorf("authd: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("authd: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("authd: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dataDir, snapFileName)); err != nil {
+		return fmt.Errorf("authd: snapshot rename: %w", err)
+	}
+	return syncDir(s.dataDir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("authd: open data dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("authd: sync data dir: %w", err)
+	}
+	return nil
+}
+
+// fireCrash invokes the injection hook at a snapshot-path point.
+func (s *Server) fireCrash(p CrashPoint) {
+	if s.crashHook != nil {
+		s.crashHook(p)
+	}
+}
+
+// noteMutation ticks the auto-snapshot counter after an acknowledged
+// mutation and, past the cadence, snapshots inline on the request that
+// crossed it (TryLock: concurrent crossers skip instead of queueing).
+func (s *Server) noteMutation() {
+	if s.wal == nil || s.snapEvery <= 0 {
+		return
+	}
+	if s.mutations.Add(1) < int64(s.snapEvery) {
+		return
+	}
+	if !s.snapMu.TryLock() {
+		return
+	}
+	defer s.snapMu.Unlock()
+	_ = s.snapshotLocked() // failure is counted in snapshot_errors; the WAL keeps the state safe
+}
+
+func sortCodeIDs(codes []codepool.CodeID) {
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+}

@@ -2,6 +2,7 @@ package codepool
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -76,4 +77,53 @@ func (r *Revoker) RevokedCodes() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.revoked)
+}
+
+// RevocationState is a point-in-time copy of the table, for the
+// authority's durability snapshots (internal/authd). Revoked is sorted so
+// a dump is canonical.
+type RevocationState struct {
+	Counters map[CodeID]int
+	Revoked  []CodeID
+}
+
+// Dump copies the table. The copy is consistent: both maps are read under
+// one critical section.
+func (r *Revoker) Dump() RevocationState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RevocationState{Counters: make(map[CodeID]int, len(r.counters))}
+	for c, n := range r.counters {
+		st.Counters[c] = n
+	}
+	st.Revoked = make([]CodeID, 0, len(r.revoked))
+	for c := range r.revoked {
+		st.Revoked = append(st.Revoked, c)
+	}
+	sort.Slice(st.Revoked, func(i, j int) bool { return st.Revoked[i] < st.Revoked[j] })
+	return st
+}
+
+// Restore replaces the table's contents with a previously dumped state.
+// Only valid on a table that has seen no reports yet (a freshly built
+// authority replaying its snapshot); restoring over live counters would
+// break the exactly-one-revocation accounting.
+func (r *Revoker) Restore(st RevocationState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) != 0 || len(r.revoked) != 0 {
+		return fmt.Errorf("codepool: Restore on a revocation table with live state")
+	}
+	for c, n := range st.Counters {
+		if n < 0 {
+			return fmt.Errorf("codepool: restored counter for code %d is negative (%d)", c, n)
+		}
+		if n > 0 {
+			r.counters[c] = n
+		}
+	}
+	for _, c := range st.Revoked {
+		r.revoked[c] = true
+	}
+	return nil
 }
