@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench authd-crash lint prof benchgate
+.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench authd-crash authd-replica lint prof benchgate
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,7 @@ tier1: build
 	$(MAKE) chaos
 	$(MAKE) authd-smoke
 	$(MAKE) authd-crash
+	$(MAKE) authd-replica
 	$(MAKE) benchgate
 
 # benchgate measures the hot-path benchmarks (sim scheduler, DSSS receive
@@ -59,6 +60,17 @@ authd-smoke:
 # on any violation. See docs/authority.md.
 authd-crash:
 	$(GO) run ./cmd/jrsnd-authority -crash-harness -crash-cycles 2
+
+# authd-replica runs the replication-fault harness: a three-replica group
+# (primary + two followers, min-sync 1) as real subprocesses, cycling
+# follower kill/restart under load, an asymmetric partition that forces a
+# snapshot catch-up, and a primary kill with gated promotion and client
+# failover; after each fault the whole replica set must converge to one
+# (sequence, fingerprint) and every replica is checked against the ledger
+# of acknowledged mutations. Exits 1 on any violation. See
+# docs/authority.md.
+authd-replica:
+	$(GO) run ./cmd/jrsnd-authority -replica-harness -replica-cycles 1
 
 # authd-bench re-measures the service baseline archived in BENCH_authd.json:
 # handler micro-benches plus a loadgen run over real loopback HTTP.

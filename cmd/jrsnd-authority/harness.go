@@ -61,6 +61,7 @@ type harnessLedger struct {
 	mu             sync.Mutex
 	nodes          map[int][]codepool.CodeID
 	maxEpoch       int
+	maxSeq         uint64 // highest WAL sequence any acknowledged response carried
 	revCode        int32
 	revAcks        int
 	revokedNowAcks int
@@ -69,6 +70,23 @@ type harnessLedger struct {
 
 func newLedger(revCode int32) *harnessLedger {
 	return &harnessLedger{nodes: map[int][]codepool.CodeID{}, revCode: revCode}
+}
+
+// ackSeq records the WAL sequence of an acknowledged mutation — the
+// replica harness's promotion gate uses the maximum as "what any client
+// knows was acknowledged".
+func (l *harnessLedger) ackSeq(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.maxSeq {
+		l.maxSeq = seq
+	}
+}
+
+func (l *harnessLedger) ackedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.maxSeq
 }
 
 func (l *harnessLedger) violate(format string, args ...any) {
@@ -306,16 +324,19 @@ func trackedOps(ctx context.Context, url string, led *harnessLedger, n int) {
 				for _, a := range res.Nodes {
 					led.ackAssign(a.Node, a.Codes, res.Epoch)
 				}
+				led.ackSeq(res.Seq)
 			}
 		case 2:
 			var res authd.JoinResponse
 			if res, err = cl.Join(opCtx, "tracked"); err == nil {
 				led.ackAssign(res.Node, res.Codes, res.Epoch)
+				led.ackSeq(res.Seq)
 			}
 		default:
 			var res authd.RevokeResult
 			if res, err = cl.Revoke(opCtx, led.revCode); err == nil {
 				led.ackRevoke(res)
+				led.ackSeq(res.Seq)
 			}
 		}
 		cancelOp()
@@ -458,6 +479,14 @@ func startChild(exe, dir string, snapEvery int, seed int64, extra []string) (*ch
 		_ = c.cmd.Process.Kill()
 		return nil, fmt.Errorf("child never reported its address (output:\n%s)", c.output())
 	}
+}
+
+// kill SIGKILLs the child — the replica harness's crash fault — and waits
+// for it to die.
+func (c *child) kill() {
+	_ = c.cmd.Process.Kill()
+	code := <-c.exited
+	c.exited <- code // keep readable for a later wait()
 }
 
 // wait blocks until the child exits on its own (the armed crash) and

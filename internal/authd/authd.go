@@ -98,6 +98,14 @@ type Config struct {
 	// acknowledged and New replays the directory's history on boot. The
 	// zero value keeps the server fully in-memory.
 	Durable Durability
+	// Follower starts the server in the follower role: mutating routes
+	// answer 421 (ErrNotPrimary, with an X-JRSND-Primary hint) and state
+	// changes arrive only through applyReplicated. Reads serve normally.
+	// Usually managed by a Follower (follower.go) rather than set
+	// directly. Requires Durable.
+	Follower bool
+	// Replication sets the primary's acknowledgment policy (replicate.go).
+	Replication ReplicationConfig
 
 	// now is the wall clock, injectable for rate-limiter tests.
 	now func() time.Time
@@ -143,6 +151,16 @@ type Server struct {
 	snapEvery  int           // auto-snapshot cadence in mutations; <=0 off
 	mutations  atomic.Int64  // acknowledged mutations since the last snapshot
 	lastSnapAt atomic.Int64  // unix ns of the last durable snapshot (boot time if none)
+
+	// Replication (replicate.go). repl is non-nil exactly when the server
+	// is durable; it carries the fingerprint chain, the streamable record
+	// buffer, and follower acknowledgment watermarks.
+	repl         *replTracker
+	followerRole atomic.Bool  // true while in the follower role
+	primaryHint  atomic.Value // string: upstream primary URL (follower role)
+	replLag      atomic.Int64 // last observed records behind the primary
+	promoteHook  func()       // set by Follower: stop the pull loop before promotion
+	pauseHook    func(bool)   // set by Follower: pause/resume the pull loop
 
 	httpSrv  *http.Server
 	inflight sync.WaitGroup
@@ -216,10 +234,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Rate > 0 {
 		s.rl = newLimiter(cfg.Shards, cfg.Rate, cfg.Burst, cfg.now)
 	}
+	if cfg.Follower && cfg.Durable.Dir == "" {
+		return nil, fmt.Errorf("authd: the follower role requires a durable data directory")
+	}
 	if cfg.Durable.Dir != "" {
 		if err := s.openDurable(cfg.Durable); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Follower {
+		s.followerRole.Store(true)
+		s.m.roleFollower.Set(1)
+	} else {
+		s.m.rolePrimary.Set(1)
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -280,18 +307,19 @@ func (s *Server) Epoch() int {
 }
 
 // provision claims up to count deployment slots and records their
-// assignments. The slot cursor is an atomic add, so concurrent calls get
+// assignments, returning the WAL sequence of the logged claim (0 when
+// in-memory). The slot cursor is an atomic add, so concurrent calls get
 // disjoint ranges without touching a lock; only the per-slot record
 // insert takes (sharded) locks. On a durable server the claimed range is
 // appended to the WAL before the call returns — the acknowledgment
 // implies the batch will survive a crash — still under poolMu's read
 // side, so a snapshot can never slice between the registry insert and the
 // log record.
-func (s *Server) provision(count int, tag string) ([]Assignment, error) {
+func (s *Server) provision(count int, tag string) ([]Assignment, uint64, error) {
 	n := int64(s.cfg.Params.N)
 	start := s.nextSlot.Add(int64(count)) - int64(count)
 	if start >= n {
-		return nil, ErrExhausted
+		return nil, 0, ErrExhausted
 	}
 	end := start + int64(count)
 	if end > n {
@@ -305,21 +333,29 @@ func (s *Server) provision(count int, tag string) ([]Assignment, error) {
 		codes := s.pool.Codes(int(node))
 		if err := s.reg.insert(int(node), record{Codes: codes, Tag: tag, Via: "provision", At: now}); err != nil {
 			s.poison(err)
-			return nil, err
+			return nil, 0, err
 		}
 		out = append(out, Assignment{Node: int(node), Codes: codes})
 		s.m.provisionedNodes.Inc()
 	}
+	var seq uint64
 	if s.wal != nil {
-		err := s.wal.append(walRecord{
+		// The observation digest folds only this record's own facts
+		// (range + code sets): concurrent provisions land in the WAL in an
+		// order poolMu's read side does not fix, so the digest must not
+		// depend on its neighbors. The pool is immutable under RLock, so
+		// the codes are exactly what was acknowledged.
+		obs := obsProvision(int(start), int(end-start), s.pool.Codes)
+		var err error
+		seq, err = s.wal.append(walRecord{
 			Kind: walProvision, Start: int(start), Count: int(end - start),
 			Tag: tag, At: now.UnixNano(),
-		})
+		}, obs)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
-	return out, nil
+	return out, seq, nil
 }
 
 // join admits one late node per §V-A, reporting whether the admission
@@ -327,34 +363,38 @@ func (s *Server) provision(count int, tag string) ([]Assignment, error) {
 // mutation, registry insert, and WAL append all happen under the write
 // lock: the logged join order IS the joinRng consumption order, which is
 // what makes replay reconstruct the pool bit for bit.
-func (s *Server) join(tag string) (Assignment, bool, error) {
+func (s *Server) join(tag string) (Assignment, bool, uint64, error) {
 	now := s.cfg.now()
 	s.poolMu.Lock()
 	defer s.poolMu.Unlock()
 	before := s.pool.Expansions()
 	node, err := s.pool.Join(s.joinRng)
 	if err != nil {
-		return Assignment{}, false, fmt.Errorf("authd: %w", err)
+		return Assignment{}, false, 0, fmt.Errorf("authd: %w", err)
 	}
 	expanded := s.pool.Expansions() > before
 	codes := s.pool.Codes(node)
 	if err := s.reg.insert(node, record{Codes: codes, Tag: tag, Via: "join", At: now}); err != nil {
 		s.poison(err)
-		return Assignment{}, false, err
+		return Assignment{}, false, 0, err
 	}
+	var seq uint64
 	if s.wal != nil {
-		err := s.wal.append(walRecord{
+		// Joins hold the write lock, so their digest may fold the epoch
+		// they produced — no other mutation can interleave.
+		obs := obsJoin(node, expanded, s.pool.Expansions(), codes)
+		seq, err = s.wal.append(walRecord{
 			Kind: walJoin, Node: node, Expanded: expanded, Tag: tag, At: now.UnixNano(),
-		})
+		}, obs)
 		if err != nil {
-			return Assignment{}, false, err
+			return Assignment{}, false, 0, err
 		}
 	}
 	s.m.joins.Inc()
 	if expanded {
 		s.m.expansions.Inc()
 	}
-	return Assignment{Node: node, Codes: codes}, expanded, nil
+	return Assignment{Node: node, Codes: codes}, expanded, seq, nil
 }
 
 // revoke routes one invalid-code report through the Revoker. The
@@ -372,8 +412,13 @@ func (s *Server) revoke(code codepool.CodeID) (RevokeResult, error) {
 		return RevokeResult{}, fmt.Errorf("%w: code %d outside pool [0, %d)", ErrField, code, poolSize)
 	}
 	now := s.rev.ReportInvalid(code)
+	var seq uint64
 	if s.wal != nil {
-		err := s.wal.append(walRecord{Kind: walRevoke, Code: int32(code), At: s.cfg.now().UnixNano()})
+		// The digest folds only the reported code: report counters are
+		// commutative, and concurrent revokes under the read lock may log
+		// in either order while producing the same final state.
+		var err error
+		seq, err = s.wal.append(walRecord{Kind: walRevoke, Code: int32(code), At: s.cfg.now().UnixNano()}, obsRevoke(int32(code)))
 		if err != nil {
 			return RevokeResult{}, err
 		}
@@ -387,6 +432,7 @@ func (s *Server) revoke(code codepool.CodeID) (RevokeResult, error) {
 		Count:      s.rev.Count(code),
 		Revoked:    s.rev.Revoked(code),
 		RevokedNow: now,
+		Seq:        seq,
 	}, nil
 }
 

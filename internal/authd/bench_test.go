@@ -86,7 +86,7 @@ func BenchmarkRevoke(b *testing.B) {
 // jrsnd-benchgate against BENCH_authd_go.json.
 func BenchmarkWALAppend(b *testing.B) {
 	reg := metrics.New()
-	w, err := openWAL(filepath.Join(b.TempDir(), "wal.log"), 0, 1, nil,
+	w, err := openWAL(filepath.Join(b.TempDir(), "wal.log"), 0, 1, nil, nil,
 		reg.Counter("bench_appends", "b"), reg.Counter("bench_fsyncs", "b"))
 	if err != nil {
 		b.Fatal(err)
@@ -96,10 +96,39 @@ func BenchmarkWALAppend(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := w.append(rec); err != nil {
+		if _, err := w.append(rec, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkWALAppendGroupCommit measures the same hot path under
+// concurrent appenders, where the group-commit path lets one fsync cover
+// every record written while the previous fsync was in flight — the
+// mutation-throughput win of this PR's WAL change. Gated by
+// jrsnd-benchgate against BENCH_authd_go.json.
+func BenchmarkWALAppendGroupCommit(b *testing.B) {
+	reg := metrics.New()
+	w, err := openWAL(filepath.Join(b.TempDir(), "wal.log"), 0, 1, nil, nil,
+		reg.Counter("bench_gc_appends", "b"), reg.Counter("bench_gc_fsyncs", "b"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = w.close() }()
+	rec := walRecord{Kind: walJoin, Node: 42, Expanded: false, Tag: "bench", At: 1}
+	// Eight appenders per proc: coalescing needs concurrent writers even on
+	// a single-CPU box, and fsync blocks in a syscall, so waiting appenders
+	// still get scheduled and pile onto the leader's sync group.
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := w.append(rec, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkDecodeProvisionRequest(b *testing.B) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -14,15 +15,32 @@ import (
 	"time"
 )
 
+// ErrUnavailable: every configured endpoint was tried and none produced a
+// definitive answer (transport failures, 5xx, or not-primary redirects all
+// the way down). Distinct from a structured refusal — the caller may be
+// mid-failover and can retry later.
+var ErrUnavailable = errors.New("authd: no replica available")
+
 // Client is the retrying library client for the authority service. Its
 // retry loop reuses the engine's full-jitter backoff shape (core/retry.go):
 // the delay before retry k is drawn uniformly from [0, BackoffBase·2^(k-1)),
 // capped at BackoffCap. Retries fire on transport errors, 429, and 5xx;
 // structured failures (400/404/409/413) surface immediately as the typed
 // errors of this package.
+//
+// Failover: with Endpoints set, the client walks a deterministic seeded
+// permutation of the replica set, rotating to the next endpoint on a
+// transport error or 5xx. A 421 (ErrNotPrimary) from a follower carries
+// the X-JRSND-Primary hint, which the client pins for its next attempt —
+// so a mutation sent to a follower lands on the primary one retry later.
 type Client struct {
 	// Base is the server's base URL, e.g. "http://127.0.0.1:7946".
+	// Ignored when Endpoints is set.
 	Base string
+	// Endpoints lists every replica's base URL. When non-empty the client
+	// fails over across them; reads are served by whichever endpoint
+	// answers, mutations follow 421 redirects to the primary.
+	Endpoints []string
 	// HTTP is the underlying transport; nil uses a client with a 10 s
 	// request timeout.
 	HTTP *http.Client
@@ -35,12 +53,16 @@ type Client struct {
 	BackoffBase time.Duration
 	// BackoffCap bounds one delay; 0 = 2 s.
 	BackoffCap time.Duration
-	// Rand drives the jitter; nil derives a source from (Base, ClientID)
-	// at first use, so two clients with equal config draw identical
-	// backoff schedules and tests stay reproducible without injection.
+	// Rand drives the jitter and the endpoint probe order; nil derives a
+	// source from (endpoints, ClientID) at first use, so two clients with
+	// equal config draw identical backoff schedules and probe orders and
+	// tests stay reproducible without injection.
 	Rand *rand.Rand
 
-	mu sync.Mutex // guards Rand
+	mu       sync.Mutex // guards Rand, order, cur, override
+	order    []int      // seeded permutation of Endpoints
+	cur      int        // index into order
+	override string     // primary hint pinned from a 421 redirect
 }
 
 // sharedTransport is the package-wide keep-alive transport every Client
@@ -93,21 +115,77 @@ func (c *Client) jitter(k int) time.Duration {
 		window = cap
 	}
 	c.mu.Lock()
-	if c.Rand == nil {
-		h := fnv.New64a()
-		h.Write([]byte(c.Base))
-		h.Write([]byte{0})
-		h.Write([]byte(c.ClientID))
-		c.Rand = rand.New(rand.NewSource(int64(h.Sum64())))
-	}
+	c.ensureRandLocked()
 	d := time.Duration(c.Rand.Int63n(int64(window) + 1))
 	c.mu.Unlock()
 	return d
 }
 
+// ensureRandLocked seeds Rand from (endpoints, ClientID); caller holds mu.
+func (c *Client) ensureRandLocked() {
+	if c.Rand != nil {
+		return
+	}
+	h := fnv.New64a()
+	h.Write([]byte(c.Base))
+	for _, ep := range c.Endpoints {
+		h.Write([]byte{0})
+		h.Write([]byte(ep))
+	}
+	h.Write([]byte{0})
+	h.Write([]byte(c.ClientID))
+	c.Rand = rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// currentBase picks the URL for the next attempt: a pinned primary hint
+// wins; otherwise the current position in the seeded permutation of
+// Endpoints; otherwise Base.
+func (c *Client) currentBase() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.override != "" {
+		return c.override
+	}
+	if len(c.Endpoints) == 0 {
+		return c.Base
+	}
+	if len(c.order) != len(c.Endpoints) {
+		c.ensureRandLocked()
+		c.order = c.Rand.Perm(len(c.Endpoints))
+		c.cur = 0
+	}
+	return c.Endpoints[c.order[c.cur]]
+}
+
+// rotate abandons the endpoint that just failed: a failed pinned hint is
+// dropped back to the permutation; otherwise the permutation advances.
+func (c *Client) rotate(failed string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.override != "" {
+		if c.override == failed {
+			c.override = ""
+		}
+		return
+	}
+	if len(c.order) > 0 {
+		c.cur = (c.cur + 1) % len(c.order)
+	}
+}
+
+// pin records the primary hint from a 421 redirect for the next attempt.
+func (c *Client) pin(primary string) {
+	c.mu.Lock()
+	c.override = primary
+	c.mu.Unlock()
+}
+
 // retryable reports whether a response status deserves another attempt.
+// 421 retries because the client re-aims at the hinted primary.
 func retryable(status int) bool {
-	return status == http.StatusTooManyRequests || status >= 500
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusMisdirectedRequest ||
+		status >= 500
 }
 
 // apiError converts a non-2xx response into the typed taxonomy.
@@ -128,6 +206,8 @@ func apiError(status int, body []byte) error {
 		return fmt.Errorf("%w: %s", ErrTooLarge, msg)
 	case http.StatusBadRequest:
 		return fmt.Errorf("%w: %s", ErrField, msg)
+	case http.StatusMisdirectedRequest:
+		return fmt.Errorf("%w: %s", ErrNotPrimary, msg)
 	default:
 		return fmt.Errorf("authd: server status %d: %s", status, msg)
 	}
@@ -145,6 +225,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	var lastErr error
+	unavailable := false
 	for attempt := 1; attempt <= c.attempts(); attempt++ {
 		if attempt > 1 {
 			select {
@@ -153,7 +234,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			case <-time.After(c.jitter(attempt - 1)): //jrsnd:allow wallclock real sleep between retries against a live HTTP server; never runs under the simulator
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(reqBody))
+		base := c.currentBase()
+		req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(reqBody))
 		if err != nil {
 			return fmt.Errorf("authd: build request: %w", err)
 		}
@@ -168,13 +250,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			lastErr = err
+			// Transport failure: this replica may be dead; try the next.
+			c.rotate(base)
+			lastErr, unavailable = err, true
 			continue
 		}
+		hint := resp.Header.Get("X-JRSND-Primary")
 		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
 		resp.Body.Close()
 		if err != nil {
-			lastErr = err
+			c.rotate(base)
+			lastErr, unavailable = err, true
 			continue
 		}
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
@@ -190,6 +276,23 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if !retryable(resp.StatusCode) {
 			return lastErr
 		}
+		switch {
+		case resp.StatusCode == http.StatusMisdirectedRequest:
+			// A follower refused the mutation. Pin its primary hint; with
+			// no hint, walk the permutation until the primary turns up.
+			unavailable = true
+			if hint != "" {
+				c.pin(hint)
+			} else {
+				c.rotate(base)
+			}
+		case resp.StatusCode >= 500:
+			c.rotate(base)
+			unavailable = true
+		}
+	}
+	if unavailable {
+		return fmt.Errorf("%w: %d attempts exhausted: %v", ErrUnavailable, c.attempts(), lastErr)
 	}
 	return fmt.Errorf("authd: %d attempts exhausted: %w", c.attempts(), lastErr)
 }

@@ -252,7 +252,7 @@ func runCrashOp(s *Server, i, poolSize int, cfg CrashConfig, rng *rand.Rand, led
 	}
 	switch pick := rng.Intn(100); {
 	case pick < 45:
-		out, err := s.provision(1+rng.Intn(3), "crash")
+		out, _, err := s.provision(1+rng.Intn(3), "crash")
 		switch {
 		case err == nil:
 			for _, a := range out {
@@ -264,7 +264,7 @@ func runCrashOp(s *Server, i, poolSize int, cfg CrashConfig, rng *rand.Rand, led
 			rep.Violations = append(rep.Violations, fmt.Sprintf("provision error: %v", err))
 		}
 	case pick < 70:
-		a, _, err := s.join("crash")
+		a, _, _, err := s.join("crash")
 		if err != nil {
 			rep.Violations = append(rep.Violations, fmt.Sprintf("join error: %v", err))
 			return false
@@ -372,6 +372,12 @@ func (s *Server) stateFingerprint() string {
 		seq = s.wal.lastSeq()
 	}
 	b = fmt.Appendf(b, "epoch=%d cursor=%d seq=%d\n", s.Epoch(), s.nextSlot.Load(), seq)
+	if s.repl != nil {
+		// The replication fingerprint chain is durable-relevant state too:
+		// two replicas recovered from the same history must agree on it, or
+		// the divergence check would misfire after a restart.
+		b = fmt.Appendf(b, "fp=%016x\n", s.repl.chainFP())
+	}
 	for _, e := range s.reg.dump() {
 		b = fmt.Appendf(b, "node %d via %s tag %q codes %v\n", e.Node, e.Rec.Via, e.Rec.Tag, e.Rec.Codes)
 	}

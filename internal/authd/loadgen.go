@@ -23,6 +23,13 @@ import (
 type LoadConfig struct {
 	// Target is the server's base URL.
 	Target string
+	// Targets, when set, lists every replica's base URL: workers use the
+	// client's failover (rotate on transport error/5xx, follow 421
+	// redirects to the primary), and an operation that exhausts every
+	// replica is counted as Unavailable — a distinct outcome from an
+	// error, because under a replica-kill harness it is the expected
+	// signal, not a workload bug.
+	Targets []string
 	// Workers is the number of concurrent clients (>= 1).
 	Workers int
 	// Requests is the total operation count across all workers (>= 1).
@@ -40,19 +47,24 @@ type LoadConfig struct {
 
 // OpStats aggregates one operation type's outcomes.
 type OpStats struct {
-	Count      int           `json:"count"`
-	Errors     int           `json:"errors"`
-	Exhausted  int           `json:"exhausted,omitempty"`
-	P50        time.Duration `json:"p50_ns"`
-	P99        time.Duration `json:"p99_ns"`
-	MaxLatency time.Duration `json:"max_ns"`
+	Count       int           `json:"count"`
+	Errors      int           `json:"errors"`
+	Exhausted   int           `json:"exhausted,omitempty"`
+	Unavailable int           `json:"unavailable,omitempty"`
+	P50         time.Duration `json:"p50_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	MaxLatency  time.Duration `json:"max_ns"`
 }
 
 // LoadReport is the aggregated result of one load run.
 type LoadReport struct {
 	Ops        int                `json:"ops"`
 	Errors     int                `json:"errors"`
-	Duration   time.Duration      `json:"duration_ns"`
+	// Unavailable counts operations that exhausted every replica
+	// (ErrUnavailable) — expected while a kill/partition harness has the
+	// primary down, so they are not folded into Errors.
+	Unavailable int           `json:"unavailable,omitempty"`
+	Duration    time.Duration `json:"duration_ns"`
 	Throughput float64            `json:"ops_per_sec"`
 	P50        time.Duration      `json:"p50_ns"`
 	P99        time.Duration      `json:"p99_ns"`
@@ -73,7 +85,7 @@ type sample struct {
 // outcome, not an error — under a saturating run that is the expected
 // steady state, and the worker keeps going with the rest of its mix.
 func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
-	if cfg.Target == "" {
+	if cfg.Target == "" && len(cfg.Targets) == 0 {
 		return LoadReport{}, fmt.Errorf("authd: loadgen needs a target URL")
 	}
 	if cfg.Workers < 1 {
@@ -96,7 +108,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	}
 
 	// The revoke stream needs the pool size to draw valid code IDs.
-	probe := &Client{Base: cfg.Target, ClientID: "loadgen-probe"}
+	probe := &Client{Base: cfg.Target, Endpoints: cfg.Targets, ClientID: "loadgen-probe"}
 	info, err := probe.Epoch(ctx)
 	if err != nil {
 		return LoadReport{}, fmt.Errorf("authd: loadgen probe: %w", err)
@@ -127,9 +139,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*1_000_003))
 			cl := &Client{
-				Base:     cfg.Target,
-				ClientID: fmt.Sprintf("loadgen-%d", worker),
-				Rand:     rand.New(rand.NewSource(cfg.Seed ^ int64(worker))),
+				Base:      cfg.Target,
+				Endpoints: cfg.Targets,
+				ClientID:  fmt.Sprintf("loadgen-%d", worker),
+				Rand:      rand.New(rand.NewSource(cfg.Seed ^ int64(worker))),
 			}
 			for idx := range next {
 				samples[idx] = runOp(ctx, cl, rng, cfg, total, info.PoolSize)
@@ -189,6 +202,9 @@ func aggregate(samples []sample, elapsed time.Duration) LoadReport {
 		case s.err == nil:
 		case errors.Is(s.err, ErrExhausted):
 			st.Exhausted++
+		case errors.Is(s.err, ErrUnavailable):
+			st.Unavailable++
+			report.Unavailable++
 		default:
 			st.Errors++
 			report.Errors++
@@ -228,8 +244,12 @@ func percentile(lats []time.Duration, q float64) time.Duration {
 // Format renders the report for humans.
 func (r LoadReport) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "loadgen: %d ops in %v (%.0f ops/s), %d errors\n",
+	fmt.Fprintf(&b, "loadgen: %d ops in %v (%.0f ops/s), %d errors",
 		r.Ops, r.Duration.Round(time.Millisecond), r.Throughput, r.Errors)
+	if r.Unavailable > 0 {
+		fmt.Fprintf(&b, ", %d unavailable", r.Unavailable)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "latency: p50 %v  p99 %v\n",
 		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
 	ops := make([]string, 0, len(r.PerOp))
@@ -244,6 +264,9 @@ func (r LoadReport) Format() string {
 			st.MaxLatency.Round(time.Microsecond), st.Errors)
 		if st.Exhausted > 0 {
 			fmt.Fprintf(&b, " exhausted %d", st.Exhausted)
+		}
+		if st.Unavailable > 0 {
+			fmt.Fprintf(&b, " unavailable %d", st.Unavailable)
 		}
 		b.WriteByte('\n')
 	}

@@ -68,6 +68,10 @@ func (s *Server) openDurable(d Durability) error {
 	if err := s.checkMeta(); err != nil {
 		return err
 	}
+	// The replication tracker exists on every durable server — follower
+	// or primary — so the fingerprint chain and the streamable record
+	// buffer are rebuilt by the same recovery that rebuilds the state.
+	s.repl = newReplTracker()
 	// A leftover snapshot.tmp is a snapshot the crash interrupted before
 	// the atomic rename; it was never the live image.
 	_ = os.Remove(filepath.Join(d.Dir, snapTmpName))
@@ -99,7 +103,7 @@ func (s *Server) openDurable(d Durability) error {
 	if s.lastSnapAt.Load() == 0 {
 		s.lastSnapAt.Store(s.cfg.now().UnixNano())
 	}
-	s.wal, err = openWAL(walPath, lastSeq, d.FsyncEvery, d.CrashHook, s.m.walAppends, s.m.walFsyncs)
+	s.wal, err = openWAL(walPath, lastSeq, d.FsyncEvery, s.repl, d.CrashHook, s.m.walAppends, s.m.walFsyncs)
 	return err
 }
 
@@ -169,6 +173,9 @@ func (s *Server) restoreSnapshot(st snapshotState) error {
 	}
 	s.nextSlot.Store(int64(st.Cursor))
 	s.lastSnapAt.Store(st.TakenAt)
+	// The snapshot carries the fingerprint chain's value at its sequence;
+	// the replayed WAL suffix extends the chain from there.
+	s.repl.reset(st.Seq, st.FP)
 	return nil
 }
 
@@ -216,55 +223,69 @@ func (s *Server) replayWAL(path string, snapSeq uint64) (uint64, error) {
 		if rec.Seq <= snapSeq {
 			continue
 		}
-		if err := s.applyRecord(rec); err != nil {
+		obs, err := s.applyRecord(rec)
+		if err != nil {
 			return 0, err
 		}
+		// Re-encode the record canonically and extend the fingerprint
+		// chain exactly as the live append did, so a recovered server's
+		// chain equals the one it (or its primary) computed before dying.
+		frame, err := appendWALRecord(nil, rec)
+		if err != nil {
+			return 0, err
+		}
+		s.repl.extend(rec.Seq, rec.Kind, frame, obs)
 		s.m.walReplayed.Inc()
 	}
 	return last, nil
 }
 
-// applyRecord applies one logged mutation through the live code paths.
-func (s *Server) applyRecord(rec walRecord) error {
+// applyRecord applies one logged mutation through the live code paths,
+// returning the same observation digest the live mutation computed —
+// replay and replication chain the same fingerprints as the original
+// execution, which is what makes cross-replica divergence detectable.
+func (s *Server) applyRecord(rec walRecord) (uint64, error) {
 	switch rec.Kind {
 	case walProvision:
 		end := rec.Start + rec.Count
 		if rec.Start < 0 || end > s.cfg.Params.N {
-			return fmt.Errorf("%w: seq %d provisions [%d, %d) outside n=%d", ErrWALCorrupt, rec.Seq, rec.Start, end, s.cfg.Params.N)
+			return 0, fmt.Errorf("%w: seq %d provisions [%d, %d) outside n=%d", ErrWALCorrupt, rec.Seq, rec.Start, end, s.cfg.Params.N)
 		}
 		at := time.Unix(0, rec.At)
 		for node := rec.Start; node < end; node++ {
 			r := record{Codes: s.pool.Codes(node), Tag: rec.Tag, Via: "provision", At: at}
 			if err := s.reg.insert(node, r); err != nil {
-				return fmt.Errorf("%w: seq %d: %v", ErrWALCorrupt, rec.Seq, err)
+				return 0, fmt.Errorf("%w: seq %d: %v", ErrWALCorrupt, rec.Seq, err)
 			}
 		}
 		if cur := int64(end); cur > s.nextSlot.Load() {
 			s.nextSlot.Store(cur)
 		}
+		return obsProvision(rec.Start, rec.Count, s.pool.Codes), nil
 	case walJoin:
 		before := s.pool.Expansions()
 		node, err := s.pool.Join(s.joinRng)
 		if err != nil {
-			return fmt.Errorf("%w: seq %d join replay: %v", ErrWALCorrupt, rec.Seq, err)
+			return 0, fmt.Errorf("%w: seq %d join replay: %v", ErrWALCorrupt, rec.Seq, err)
 		}
 		if node != rec.Node {
-			return fmt.Errorf("%w: seq %d join replay diverged: produced node %d, log acknowledged %d", ErrWALCorrupt, rec.Seq, node, rec.Node)
+			return 0, fmt.Errorf("%w: seq %d join replay diverged: produced node %d, log acknowledged %d", ErrWALCorrupt, rec.Seq, node, rec.Node)
 		}
 		if expanded := s.pool.Expansions() > before; expanded != rec.Expanded {
-			return fmt.Errorf("%w: seq %d join replay diverged: expansion %v, log says %v", ErrWALCorrupt, rec.Seq, expanded, rec.Expanded)
+			return 0, fmt.Errorf("%w: seq %d join replay diverged: expansion %v, log says %v", ErrWALCorrupt, rec.Seq, expanded, rec.Expanded)
 		}
 		r := record{Codes: s.pool.Codes(node), Tag: rec.Tag, Via: "join", At: time.Unix(0, rec.At)}
 		if err := s.reg.insert(node, r); err != nil {
-			return fmt.Errorf("%w: seq %d: %v", ErrWALCorrupt, rec.Seq, err)
+			return 0, fmt.Errorf("%w: seq %d: %v", ErrWALCorrupt, rec.Seq, err)
 		}
+		return obsJoin(node, rec.Expanded, s.pool.Expansions(), s.pool.Codes(node)), nil
 	case walRevoke:
 		if int(rec.Code) < 0 || int(rec.Code) >= s.pool.S() {
-			return fmt.Errorf("%w: seq %d revokes code %d outside pool of %d", ErrWALCorrupt, rec.Seq, rec.Code, s.pool.S())
+			return 0, fmt.Errorf("%w: seq %d revokes code %d outside pool of %d", ErrWALCorrupt, rec.Seq, rec.Code, s.pool.S())
 		}
 		s.rev.ReportInvalid(codepool.CodeID(rec.Code))
+		return obsRevoke(rec.Code), nil
 	default:
-		return fmt.Errorf("%w: seq %d kind %d", ErrWALCorrupt, rec.Seq, rec.Kind)
+		return 0, fmt.Errorf("%w: seq %d kind %d", ErrWALCorrupt, rec.Seq, rec.Kind)
 	}
-	return nil
 }

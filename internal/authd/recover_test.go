@@ -38,12 +38,12 @@ func durableServer(t testing.TB, dir string, d Durability) *Server {
 func mutate(t testing.TB, s *Server, provisions, joins, revokes int) {
 	t.Helper()
 	for i := 0; i < provisions; i++ {
-		if _, err := s.provision(2, "prov"); err != nil && !errors.Is(err, ErrExhausted) {
+		if _, _, err := s.provision(2, "prov"); err != nil && !errors.Is(err, ErrExhausted) {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < joins; i++ {
-		if _, _, err := s.join("late"); err != nil {
+		if _, _, _, err := s.join("late"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -73,7 +73,7 @@ func TestDurableRestartRoundTrip(t *testing.T) {
 	}
 	// The recovered server keeps serving: the next join continues the
 	// deterministic admission sequence without colliding.
-	if _, _, err := s2.join("after-restart"); err != nil {
+	if _, _, _, err := s2.join("after-restart"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -232,12 +232,12 @@ func TestConcurrentMutationsRacingSnapshot(t *testing.T) {
 			for i := 0; i < 25; i++ {
 				switch (w + i) % 3 {
 				case 0:
-					if _, err := s.provision(1, "race"); err != nil && !errors.Is(err, ErrExhausted) {
+					if _, _, err := s.provision(1, "race"); err != nil && !errors.Is(err, ErrExhausted) {
 						t.Error(err)
 						return
 					}
 				case 1:
-					if _, _, err := s.join("race"); err != nil {
+					if _, _, _, err := s.join("race"); err != nil {
 						t.Error(err)
 						return
 					}
@@ -288,7 +288,7 @@ func TestShutdownClosesWAL(t *testing.T) {
 	}
 	// Drained means the log is flushed and closed: further mutations are
 	// refused rather than silently unlogged.
-	if _, _, err := s.join("after-drain"); !errors.Is(err, ErrWALClosed) {
+	if _, _, _, err := s.join("after-drain"); !errors.Is(err, ErrWALClosed) {
 		t.Fatalf("join after Shutdown: %v, want ErrWALClosed", err)
 	}
 }

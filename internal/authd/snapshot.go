@@ -38,6 +38,7 @@ import (
 //
 //	u32 n, m, l, γ | i64 seed          — identity; must match the server's
 //	u64 seq                            — WAL sequence this snapshot covers
+//	u64 fp                             — replication fingerprint chain at seq
 //	u64 cursor                         — raw deployment-slot cursor
 //	i64 takenAt (unix ns)
 //	u32 joinCount                      — §V-A joins to replay
@@ -70,6 +71,7 @@ type snapshotState struct {
 	N, M, L, Gamma int
 	Seed           int64
 	Seq            uint64
+	FP             uint64
 	Cursor         uint64
 	TakenAt        int64
 	JoinCount      int
@@ -99,6 +101,7 @@ func encodeSnapshot(st snapshotState) ([]byte, error) {
 	p = binary.BigEndian.AppendUint32(p, uint32(st.Gamma))
 	p = binary.BigEndian.AppendUint64(p, uint64(st.Seed))
 	p = binary.BigEndian.AppendUint64(p, st.Seq)
+	p = binary.BigEndian.AppendUint64(p, st.FP)
 	p = binary.BigEndian.AppendUint64(p, st.Cursor)
 	p = binary.BigEndian.AppendUint64(p, uint64(st.TakenAt))
 	p = binary.BigEndian.AppendUint32(p, uint32(st.JoinCount))
@@ -211,6 +214,9 @@ func decodeSnapshot(data []byte) (snapshotState, error) {
 	}
 	st.Seed = int64(w)
 	if st.Seq, err = c.u64(); err != nil {
+		return st, err
+	}
+	if st.FP, err = c.u64(); err != nil {
 		return st, err
 	}
 	if st.Cursor, err = c.u64(); err != nil {
@@ -342,8 +348,11 @@ func (s *Server) snapshotLocked() (err error) {
 	now := s.cfg.now()
 	st := snapshotState{
 		N: s.cfg.Params.N, M: s.cfg.Params.M, L: s.cfg.Params.L, Gamma: s.cfg.Params.Gamma,
-		Seed:      s.cfg.Seed,
-		Seq:       s.wal.lastSeq(),
+		Seed: s.cfg.Seed,
+		Seq:  s.wal.lastSeq(),
+		// poolMu's write lock excludes appends, so the chain value is the
+		// fingerprint at exactly Seq.
+		FP:        s.repl.chainFP(),
 		Cursor:    uint64(s.nextSlot.Load()),
 		TakenAt:   now.UnixNano(),
 		JoinCount: s.pool.N() - s.cfg.Params.N,
@@ -379,6 +388,10 @@ func (s *Server) snapshotLocked() (err error) {
 	if err := s.wal.truncate(); err != nil {
 		return err
 	}
+	// Records the snapshot now durably covers leave the replication
+	// buffer; a follower further back than Seq must bootstrap from the
+	// snapshot file instead of the stream.
+	s.repl.compact(st.Seq)
 	s.snapSeq.Store(st.Seq)
 	s.lastSnapAt.Store(st.TakenAt)
 	s.mutations.Store(0)

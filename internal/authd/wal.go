@@ -305,30 +305,48 @@ func resyncOffset(data []byte, from int, lastSeq uint64) int {
 	return -1
 }
 
-// wal is the append side of the log. All appends are serialized under mu
-// (they share one file offset and one fsync), and a failed append is
-// sticky: once the log cannot be trusted to be ahead of the acknowledged
-// state, every further mutation is refused.
+// wal is the append side of the log. Encoding and the file write are
+// serialized under mu (they share one file offset); the fsync that makes
+// a record durable is group-committed under syncMu: concurrent appends
+// write their records back to back, then the first of them into syncMu
+// fsyncs once for the whole group and the rest find their sequence
+// already covered by the synced watermark. A failed append is sticky:
+// once the log cannot be trusted to be ahead of the acknowledged state,
+// every further mutation is refused.
+//
+// Lock order: syncMu before mu (syncTo reads the written watermark under
+// mu while holding syncMu; truncate and close take both in that order).
+// append takes mu alone, releases it, then enters syncTo.
 type wal struct {
 	mu      sync.Mutex
 	f       *os.File
 	path    string
 	seq     uint64 // last assigned sequence number
-	pending int    // appends since the last fsync
+	written uint64 // last sequence handed to the OS (guarded by mu)
+	pending int    // appends since the last fsync (legacy inline path)
 	// syncEvery batches fsyncs: 1 syncs every append (the durable
-	// default), N>1 syncs every Nth (group commit for throughput).
+	// default), N>1 syncs every Nth (trading the tail for throughput).
 	syncEvery int
 	failed    error // sticky failure
 	buf       []byte
 
-	hook    CrashHook // crash-fault injection; nil in production
+	// groupCommit selects the coalesced fsync path. It is off when a
+	// crash hook is armed (the crash points need the write+sync sequence
+	// of one record to be a deterministic, uninterleaved unit) or when
+	// syncEvery > 1 (the operator asked for counted batching instead).
+	groupCommit bool
+	syncMu      sync.Mutex
+	synced      uint64 // last sequence known fsynced (guarded by syncMu)
+
+	tracker *replTracker // replication buffer to extend per append; may be nil
+	hook    CrashHook    // crash-fault injection; nil in production
 	appends *metrics.Counter
 	fsyncs  *metrics.Counter
 }
 
 // openWAL opens (creating if needed) the log file for appending. seq is
 // the last sequence number recovery observed (snapshot or replay).
-func openWAL(path string, seq uint64, syncEvery int, hook CrashHook, appends, fsyncs *metrics.Counter) (*wal, error) {
+func openWAL(path string, seq uint64, syncEvery int, tracker *replTracker, hook CrashHook, appends, fsyncs *metrics.Counter) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("authd: open WAL: %w", err)
@@ -337,8 +355,9 @@ func openWAL(path string, seq uint64, syncEvery int, hook CrashHook, appends, fs
 		syncEvery = 1
 	}
 	return &wal{
-		f: f, path: path, seq: seq, syncEvery: syncEvery,
-		hook: hook, appends: appends, fsyncs: fsyncs,
+		f: f, path: path, seq: seq, written: seq, synced: seq, syncEvery: syncEvery,
+		groupCommit: hook == nil && syncEvery == 1,
+		tracker:     tracker, hook: hook, appends: appends, fsyncs: fsyncs,
 	}, nil
 }
 
@@ -351,25 +370,44 @@ func (w *wal) fire(p CrashPoint) {
 	}
 }
 
-// append assigns the next sequence number, encodes, writes, and (per the
-// sync policy) fsyncs one record. It returns only after the record bytes
-// are handed to the OS — the caller acknowledges the mutation to the
-// client strictly after this returns.
-func (w *wal) append(rec walRecord) error {
+// append assigns the next sequence number, encodes, writes, and makes
+// the record durable per the sync policy, returning the assigned
+// sequence. obs is the mutation's observation digest, chained into the
+// replication fingerprint at the instant the record gains its place in
+// the order. The caller acknowledges the mutation to the client strictly
+// after this returns.
+func (w *wal) append(rec walRecord, obs uint64) (uint64, error) {
+	seq, err := w.appendLocked(rec, obs)
+	if err != nil {
+		return 0, err
+	}
+	if w.groupCommit {
+		// The record is written but not yet durable; join (or lead) the
+		// current fsync group outside mu so concurrent appends coalesce.
+		if err := w.syncTo(seq); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// appendLocked is the mu-held half of append: sequence assignment,
+// encode, write, and — on the legacy inline path — the fsync too.
+func (w *wal) appendLocked(rec walRecord, obs uint64) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
-		return w.failed
+		return 0, w.failed
 	}
 	if w.f == nil {
-		return ErrWALClosed
+		return 0, ErrWALClosed
 	}
 	rec.Seq = w.seq + 1
 	frame, err := appendWALRecord(w.buf[:0], rec)
 	if err != nil {
 		// The caller has already applied the mutation in memory; an
 		// unloggable record is a divergence, so the failure is sticky.
-		return w.fail(err)
+		return 0, w.fail(err)
 	}
 	w.buf = frame[:0:cap(frame)]
 	w.fire(CrashPreAppend)
@@ -378,26 +416,66 @@ func (w *wal) append(rec walRecord) error {
 		// land a genuinely torn record on disk.
 		half := len(frame) / 2
 		if _, err := w.f.Write(frame[:half]); err != nil {
-			return w.fail(err)
+			return 0, w.fail(err)
 		}
 		w.fire(CrashMidAppend)
 		if _, err := w.f.Write(frame[half:]); err != nil {
-			return w.fail(err)
+			return 0, w.fail(err)
 		}
 	} else if _, err := w.f.Write(frame); err != nil {
-		return w.fail(err)
+		return 0, w.fail(err)
 	}
 	w.seq = rec.Seq
+	w.written = rec.Seq
 	w.appends.Inc()
-	w.pending++
-	if w.pending >= w.syncEvery {
-		if err := w.f.Sync(); err != nil {
-			return w.fail(err)
+	if w.tracker != nil {
+		// Extended under mu, so the fingerprint chain order IS the log
+		// order. Streaming may race the group fsync — followers holding a
+		// record the primary has not yet synced only adds durability.
+		w.tracker.extend(rec.Seq, rec.Kind, frame, obs)
+	}
+	if !w.groupCommit {
+		w.pending++
+		if w.pending >= w.syncEvery {
+			if err := w.f.Sync(); err != nil {
+				return 0, w.fail(err)
+			}
+			w.fsyncs.Inc()
+			w.pending = 0
 		}
-		w.fsyncs.Inc()
-		w.pending = 0
 	}
 	w.fire(CrashPostAppend)
+	return rec.Seq, nil
+}
+
+// syncTo makes sequence seq durable, coalescing with concurrent appends:
+// the first caller into syncMu fsyncs everything written so far (the
+// group's leader, one fsync for the whole batch); later callers find
+// their sequence already under the synced watermark and return without
+// an fsync of their own.
+func (w *wal) syncTo(seq uint64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced >= seq {
+		return nil
+	}
+	w.mu.Lock()
+	target := w.written
+	f := w.f
+	failed := w.failed
+	w.mu.Unlock()
+	if failed != nil {
+		return failed
+	}
+	if f == nil {
+		return ErrWALClosed
+	}
+	if err := f.Sync(); err != nil {
+		w.poison(err)
+		return fmt.Errorf("authd: WAL fsync: %w", err)
+	}
+	w.fsyncs.Inc()
+	w.synced = target
 	return nil
 }
 
@@ -430,6 +508,8 @@ func (w *wal) lastSeq() uint64 {
 // per-file — so replay can tell exactly which records a snapshot already
 // covers.
 func (w *wal) truncate() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -443,12 +523,17 @@ func (w *wal) truncate() error {
 	}
 	w.fsyncs.Inc()
 	w.pending = 0
+	// Everything up to the current sequence is durable via the snapshot
+	// that triggered this truncate.
+	w.synced = w.seq
 	return nil
 }
 
 // close flushes and closes the log. Called at the end of a graceful
 // drain, after every in-flight request has been answered.
 func (w *wal) close() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {

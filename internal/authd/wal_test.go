@@ -21,7 +21,7 @@ func walCounters(t testing.TB) (*metrics.Counter, *metrics.Counter) {
 func testWAL(t testing.TB, syncEvery int) *wal {
 	t.Helper()
 	appends, fsyncs := walCounters(t)
-	w, err := openWAL(filepath.Join(t.TempDir(), walFileName), 0, syncEvery, nil, appends, fsyncs)
+	w, err := openWAL(filepath.Join(t.TempDir(), walFileName), 0, syncEvery, nil, nil, appends, fsyncs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestWALRoundTrip(t *testing.T) {
 	w := testWAL(t, 1)
 	want := sampleRecords()
 	for _, rec := range want {
-		if err := w.append(rec); err != nil {
+		if _, err := w.append(rec, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -79,7 +79,7 @@ func TestWALRoundTrip(t *testing.T) {
 func TestWALTornTailTruncates(t *testing.T) {
 	w := testWAL(t, 1)
 	for _, rec := range sampleRecords() {
-		if err := w.append(rec); err != nil {
+		if _, err := w.append(rec, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,7 +118,7 @@ func TestWALTornTailTruncates(t *testing.T) {
 func TestWALMiddleCorruptionRefused(t *testing.T) {
 	w := testWAL(t, 1)
 	for _, rec := range sampleRecords() {
-		if err := w.append(rec); err != nil {
+		if _, err := w.append(rec, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -159,13 +159,13 @@ func TestWALSequenceGapRefused(t *testing.T) {
 
 func TestWALStickyFailureAfterClose(t *testing.T) {
 	w := testWAL(t, 1)
-	if err := w.append(walRecord{Kind: walRevoke, Code: 1, At: 1}); err != nil {
+	if _, err := w.append(walRecord{Kind: walRevoke, Code: 1, At: 1}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.append(walRecord{Kind: walRevoke, Code: 2, At: 2}); !errors.Is(err, ErrWALClosed) {
+	if _, err := w.append(walRecord{Kind: walRevoke, Code: 2, At: 2}, 0); !errors.Is(err, ErrWALClosed) {
 		t.Fatalf("append after close: %v, want ErrWALClosed", err)
 	}
 }
@@ -176,23 +176,23 @@ func TestWALRejectsOversizedTag(t *testing.T) {
 	for i := range big {
 		big[i] = 'x'
 	}
-	if err := w.append(walRecord{Kind: walJoin, Node: 1, Tag: string(big), At: 1}); err == nil {
+	if _, err := w.append(walRecord{Kind: walJoin, Node: 1, Tag: string(big), At: 1}, 0); err == nil {
 		t.Fatal("oversized tag accepted")
 	}
 	// The failure is sticky by design (memory/log divergence).
-	if err := w.append(walRecord{Kind: walRevoke, Code: 1, At: 1}); !errors.Is(err, ErrWALClosed) {
+	if _, err := w.append(walRecord{Kind: walRevoke, Code: 1, At: 1}, 0); !errors.Is(err, ErrWALClosed) {
 		t.Fatalf("append after encode failure: %v, want sticky ErrWALClosed", err)
 	}
 }
 
 func TestWALGroupFsync(t *testing.T) {
 	appends, fsyncs := walCounters(t)
-	w, err := openWAL(filepath.Join(t.TempDir(), walFileName), 0, 8, nil, appends, fsyncs)
+	w, err := openWAL(filepath.Join(t.TempDir(), walFileName), 0, 8, nil, nil, appends, fsyncs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 16; i++ {
-		if err := w.append(walRecord{Kind: walRevoke, Code: int32(i), At: int64(i)}); err != nil {
+		if _, err := w.append(walRecord{Kind: walRevoke, Code: int32(i), At: int64(i)}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
