@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench authd-crash authd-replica lint prof benchgate
+.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench authd-crash authd-replica lint prof benchgate node-e2e
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ tier1: build
 	$(MAKE) authd-smoke
 	$(MAKE) authd-crash
 	$(MAKE) authd-replica
+	$(MAKE) node-e2e
 	$(MAKE) benchgate
 
 # benchgate measures the hot-path benchmarks (sim scheduler, DSSS receive
@@ -72,6 +73,18 @@ authd-crash:
 authd-replica:
 	$(GO) run ./cmd/jrsnd-authority -replica-harness -replica-cycles 1
 
+# node-e2e runs the real-socket end-to-end harness: a jrsnd-authority
+# subprocess plus NODES jrsnd-node daemons on loopback UDP, full mutual
+# authenticated discovery, SIGKILL + same-slot restart of one daemon with
+# reap and re-discovery, zero invariant violations, clean shutdowns.
+# Exits 1 on any violation. See docs/transport.md.
+NODES ?= 8
+node-e2e:
+	mkdir -p bin
+	$(GO) build -o bin/jrsnd-authority ./cmd/jrsnd-authority
+	$(GO) build -o bin/jrsnd-node ./cmd/jrsnd-node
+	bin/jrsnd-node -e2e -e2e-nodes $(NODES) -e2e-authority bin/jrsnd-authority
+
 # authd-bench re-measures the service baseline archived in BENCH_authd.json:
 # handler micro-benches plus a loadgen run over real loopback HTTP.
 authd-bench:
@@ -88,8 +101,8 @@ prof:
 	$(GO) run ./cmd/jrsnd-report -trace prof/traces -trace-only -folded prof/flame.folded -o prof/spans.md
 
 # fuzz runs every native fuzz target (wire decoder, handshake transcript,
-# DSSS sync window, authd request decoder, WAL replay/boot path) for
-# FUZZTIME each. Out of tier1: run it before releases or after touching a
+# DSSS sync window, authd request decoder, WAL replay/boot path, transport
+# datagram dispatch) for FUZZTIME each. Out of tier1: run it before releases or after touching a
 # codec, receive path, or the durability layer.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/wire
@@ -97,6 +110,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzSyncWindow -fuzztime $(FUZZTIME) ./internal/dsss
 	$(GO) test -run xxx -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME) ./internal/authd
 	$(GO) test -run xxx -fuzz FuzzReplayWAL -fuzztime $(FUZZTIME) ./internal/authd
+	$(GO) test -run xxx -fuzz FuzzDatagram -fuzztime $(FUZZTIME) ./internal/transport
 
 # vuln scans the module against the Go vulnerability database. Out of
 # tier1: needs network access and the govulncheck tool

@@ -42,12 +42,13 @@ type suite struct {
 // suites maps -suite names to their packages; suiteOrder fixes the run
 // order (and the -suite "" default).
 var suites = map[string]suite{
-	"sim":   {Pkg: "./internal/sim", Baseline: "BENCH_sim.json"},
-	"dsss":  {Pkg: "./internal/dsss", Baseline: "BENCH_dsss.json"},
-	"authd": {Pkg: "./internal/authd", Baseline: "BENCH_authd_go.json"},
+	"sim":       {Pkg: "./internal/sim", Baseline: "BENCH_sim.json"},
+	"dsss":      {Pkg: "./internal/dsss", Baseline: "BENCH_dsss.json"},
+	"authd":     {Pkg: "./internal/authd", Baseline: "BENCH_authd_go.json"},
+	"transport": {Pkg: "./internal/transport", Baseline: "BENCH_transport.json"},
 }
 
-var suiteOrder = []string{"sim", "dsss", "authd"}
+var suiteOrder = []string{"sim", "dsss", "authd", "transport"}
 
 // benchResult is one benchmark's reduced measurement.
 type benchResult struct {

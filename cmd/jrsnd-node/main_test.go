@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/authd"
+	"repro/internal/metrics"
+)
+
+// In-process coverage of the daemon: flag validation, and a two-daemon
+// discovery smoke against a real (in-process) authority. The full
+// multi-process path — subprocesses, SIGKILL, restart — is `make
+// node-e2e` (runE2E), which tier1 runs.
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts options
+	}{
+		{"no authority", options{nodeID: 1}},
+		{"no node id", options{authority: "http://127.0.0.1:1", nodeID: -1}},
+		{"e2e without authority binary", options{e2e: true, e2eNodes: 4}},
+		{"e2e with one node", options{e2e: true, e2eAuthority: "/bin/true", e2eNodes: 1}},
+	}
+	for _, c := range cases {
+		if code, err := run(c.opts, &strings.Builder{}); code != 2 || err == nil {
+			t.Errorf("%s: run() = (%d, %v), want (2, error)", c.name, code, err)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got := parsePeers(" a:1, ,b:2,")
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("parsePeers = %v", got)
+	}
+	if parsePeers("") != nil {
+		t.Fatal("empty flag must parse to no peers")
+	}
+}
+
+// startTestAuthority boots an in-process authority with count slots
+// provisioned.
+func startTestAuthority(t *testing.T, count int) string {
+	t.Helper()
+	p := analysis.Defaults()
+	p.N, p.M, p.L, p.Gamma = 64, 8, 4, 3
+	srv, err := authd.New(authd.Config{Params: p, Seed: 1, Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	base := "http://" + addr
+	client := &authd.Client{Base: base}
+	if _, err := client.Provision(context.Background(), count, "test"); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// TestTwoDaemonsDiscover: two in-process daemons, provisioned by a real
+// authority, must authenticate and mutually discover via HELLO frames.
+func TestTwoDaemonsDiscover(t *testing.T) {
+	base := startTestAuthority(t, 2)
+
+	d0, err := startDaemon(options{authority: base, nodeID: 0, addr: "127.0.0.1:0", idleAfter: 10 * time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d0.endpoint.Close() })
+	d1, err := startDaemon(options{
+		authority: base, nodeID: 1, addr: "127.0.0.1:0",
+		peers: d0.endpoint.Addr(), idleAfter: 10 * time.Second,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d1.endpoint.Close() })
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		d0.beat()
+		d1.beat()
+		s0, s1 := d0.status(), d1.status()
+		if len(s0.Discovered) == 1 && s0.Discovered[0] == 1 &&
+			len(s1.Discovered) == 1 && s1.Discovered[0] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no mutual discovery: %+v / %+v", s0, s1)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s := d0.status(); len(s.Violations) != 0 {
+		t.Fatalf("daemon 0 violations: %v", s.Violations)
+	}
+	if s := d1.status(); len(s.Violations) != 0 {
+		t.Fatalf("daemon 1 violations: %v", s.Violations)
+	}
+}
+
+// TestSidecarEndpoints: /status must serve well-formed JSON and /metrics
+// a parseable Prometheus exposition.
+func TestSidecarEndpoints(t *testing.T) {
+	base := startTestAuthority(t, 1)
+	d, err := startDaemon(options{authority: base, nodeID: 0, addr: "127.0.0.1:0"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.endpoint.Close() })
+	ts := httptest.NewServer(d.handler())
+	t.Cleanup(ts.Close)
+
+	s, err := fetchStatus(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Node != 0 || s.UDP == "" || s.Violations == nil {
+		t.Fatalf("bad status: %+v", s)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	snap, err := metrics.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics is not exposition-correct: %v", err)
+	}
+	if _, ok := snap.Gauges["jrsnd_transport_peers"]; !ok {
+		t.Fatal("jrsnd_transport_peers missing from /metrics")
+	}
+
+	resp2, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("/healthz = %d", resp2.StatusCode)
+	}
+}
+
+// TestStatusJSONShape: the harness depends on these exact field names.
+func TestStatusJSONShape(t *testing.T) {
+	b, err := json.Marshal(status{Node: 3, UDP: "u", Peers: []int{1}, Discovered: []int{1}, Violations: []string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"node"`, `"udp"`, `"peers"`, `"discovered"`, `"tx_datagrams"`, `"rx_datagrams"`, `"violations"`} {
+		if !strings.Contains(string(b), field) {
+			t.Fatalf("status JSON lost field %s: %s", field, b)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/radio"
+)
+
+// countingConduit decorates the in-memory medium: every frame the engine
+// sends passes through it unchanged, and every frame must already be a
+// canonical wire byte slice (the single-egress-path promise of send).
+type countingConduit struct {
+	radio.Conduit
+	broadcasts int
+	unicasts   int
+	badPayload int
+}
+
+func (c *countingConduit) Broadcast(from int, msg radio.Message) error {
+	c.broadcasts++
+	if _, ok := msg.Payload.([]byte); !ok {
+		c.badPayload++
+	}
+	return c.Conduit.Broadcast(from, msg)
+}
+
+func (c *countingConduit) Unicast(from, to int, msg radio.Message) error {
+	c.unicasts++
+	if _, ok := msg.Payload.([]byte); !ok {
+		c.badPayload++
+	}
+	return c.Conduit.Unicast(from, to, msg)
+}
+
+func conduitTestParams() analysis.Params {
+	p := analysis.Defaults()
+	p.N = 12
+	p.M = 8
+	p.L = 4
+	p.Q = 0
+	return p
+}
+
+// TestConduitSeam: a decorated conduit sees every transmission the engine
+// makes, all of them already-encoded wire frames, and the protocol outcome
+// is unaffected by the decoration.
+func TestConduitSeam(t *testing.T) {
+	var cc *countingConduit
+	cfg := NetworkConfig{
+		Params: conduitTestParams(),
+		Seed:   7,
+		Conduit: func(inner radio.Conduit) radio.Conduit {
+			cc = &countingConduit{Conduit: inner}
+			return cc
+		},
+	}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RunDNDP(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RunMNDP(1.0); err != nil { // M-NDP adds the unicast paths
+		t.Fatal(err)
+	}
+	if cc.broadcasts == 0 {
+		t.Fatal("decorated conduit saw no broadcasts; the engine bypassed the seam")
+	}
+	if cc.unicasts == 0 {
+		t.Fatal("decorated conduit saw no unicasts; the engine bypassed the seam")
+	}
+	if cc.badPayload != 0 {
+		t.Fatalf("%d frames crossed the conduit without being wire-encoded bytes", cc.badPayload)
+	}
+	if len(n.Discoveries()) == 0 {
+		t.Fatal("no discoveries through the decorated conduit")
+	}
+	if got, want := n.MediumStats().Transmissions, cc.broadcasts+cc.unicasts; got != want {
+		t.Fatalf("MediumStats().Transmissions = %d, conduit saw %d", got, want)
+	}
+}
+
+// TestConduitDecorationPreservesDeterminism: the same seed must produce an
+// identical discovery transcript with and without a pass-through decorator
+// — the seam adds observation, never behavior.
+func TestConduitDecorationPreservesDeterminism(t *testing.T) {
+	run := func(decorate bool) []PairDiscovery {
+		cfg := NetworkConfig{Params: conduitTestParams(), Seed: 11}
+		if decorate {
+			cfg.Conduit = func(inner radio.Conduit) radio.Conduit {
+				return &countingConduit{Conduit: inner}
+			}
+		}
+		n, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RunDNDP(1.0); err != nil {
+			t.Fatal(err)
+		}
+		return n.Discoveries()
+	}
+	plain, decorated := run(false), run(true)
+	if fmt.Sprint(plain) != fmt.Sprint(decorated) {
+		t.Fatalf("decoration changed the discovery transcript:\nplain:     %v\ndecorated: %v", plain, decorated)
+	}
+}
+
+// TestConduitNilDecoratorRejected: a decorator returning nil is a
+// construction error, not a latent nil dereference at first send.
+func TestConduitNilDecoratorRejected(t *testing.T) {
+	cfg := NetworkConfig{
+		Params:  conduitTestParams(),
+		Seed:    1,
+		Conduit: func(radio.Conduit) radio.Conduit { return nil },
+	}
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Fatal("NewNetwork accepted a nil conduit")
+	}
+}

@@ -121,6 +121,14 @@ type NetworkConfig struct {
 	// uniformly from [1-spread, 1+spread], applied to its processing
 	// delays (visible when ModelProcessingDelays is on). Must be in [0, 1).
 	ClockSkewSpread float64
+	// Conduit, when set, decorates (or replaces) the delivery substrate:
+	// it receives the in-memory medium the network just built and returns
+	// the radio.Conduit the engine will actually send and receive through.
+	// Returning the inner conduit unchanged is the sim path; returning a
+	// wrapper observes every frame; returning something else entirely
+	// (e.g. a transport.Conduit over UDP sockets) reroutes the engine's
+	// delivery off the simulator. Nil keeps the in-memory medium.
+	Conduit func(inner radio.Conduit) radio.Conduit
 }
 
 // PairDiscovery records a completed mutual discovery.
@@ -141,7 +149,8 @@ type Network struct {
 	pool      *codepool.Pool
 	authority *ibc.Authority
 	rootPub   []byte
-	medium    *radio.Medium
+	medium    *radio.Medium // the in-memory substrate (adversary arming needs it)
+	conduit   radio.Conduit // the delivery substrate the engine sends through
 	deploy    field.Field
 	positions []field.Point
 	graph     *field.Graph
@@ -308,6 +317,12 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	n.conduit = n.medium
+	if cfg.Conduit != nil {
+		if n.conduit = cfg.Conduit(n.medium); n.conduit == nil {
+			return nil, fmt.Errorf("core: Conduit decorator returned nil")
+		}
+	}
 
 	n.nodes = make([]*Node, p.N)
 	keyRng := streams.Get("node-keys")
@@ -317,7 +332,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 			return nil, err
 		}
 		n.nodes[i] = node
-		n.medium.Attach(i, node.handle)
+		n.conduit.Attach(i, node.handle)
 	}
 	return n, nil
 }
@@ -460,7 +475,7 @@ func (n *Network) JoinNode(pos field.Point) (int, error) {
 	}
 	n.nodes = append(n.nodes, node)
 	n.positions = append(n.positions, pos)
-	n.medium.Attach(idx, node.handle)
+	n.conduit.Attach(idx, node.handle)
 	graph, err := field.PhysicalGraph(n.deploy, n.positions, n.params.Range)
 	if err != nil {
 		return 0, fmt.Errorf("core: %w", err)
@@ -681,8 +696,9 @@ func (n *Network) UpdatePositions(positions []field.Point) error {
 	return nil
 }
 
-// MediumStats returns the radio counters.
-func (n *Network) MediumStats() radio.Stats { return n.medium.Stats() }
+// MediumStats returns the delivery counters of the active conduit (the
+// in-memory medium unless NetworkConfig.Conduit rerouted delivery).
+func (n *Network) MediumStats() radio.Stats { return n.conduit.Stats() }
 
 // CompromisedCodes returns the number of codes the adversary knows.
 func (n *Network) CompromisedCodes() int { return n.compromisedCodes.Len() }
@@ -835,9 +851,9 @@ func (n *Network) send(from, to int, msg radio.Message) error {
 	}
 	msg.Payload = frame
 	if to < 0 {
-		return n.medium.Broadcast(from, msg)
+		return n.conduit.Broadcast(from, msg)
 	}
-	return n.medium.Unicast(from, to, msg)
+	return n.conduit.Unicast(from, to, msg)
 }
 
 // handle is the single ingress path: decode the delivered frame under the

@@ -23,6 +23,7 @@ import (
 var boundedallocPkgs = []string{
 	"repro/internal/wire",
 	"repro/internal/authd",
+	"repro/internal/transport",
 }
 
 // capNameRe matches size expressions that reference an explicit cap.

@@ -27,6 +27,10 @@ var deterministicPkgs = []string{
 	"repro/internal/adversary",
 	"repro/internal/codepool",
 	"repro/internal/authd",
+	// The transport is the real (socket) path, so wall-clock use is
+	// legitimate there — but each site must justify itself with an
+	// allow directive, keeping the sim/real clock boundary auditable.
+	"repro/internal/transport",
 }
 
 // wallclockFuncs are the package-level time functions that read or arm

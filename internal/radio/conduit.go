@@ -1,0 +1,33 @@
+package radio
+
+// Conduit is the delivery substrate the protocol engine sends and
+// receives through: attach a per-node handler, then move opaque frames
+// with Broadcast/Unicast. The engine does not care what carries its
+// bytes — only that a frame handed to Broadcast reaches the handlers of
+// whoever can hear it, and that received frames arrive through the
+// attached Handler with the transmitter's identity.
+//
+// Two implementations exist:
+//
+//   - *Medium (this package) is the simulated path: virtual-time airtime,
+//     jammers, channel faults, interceptors — fully deterministic under
+//     the discrete-event engine.
+//   - transport.Conduit (internal/transport) is the real path: frames
+//     ride loopback/LAN UDP datagrams between authenticated peers, on
+//     wall-clock time.
+//
+// core.Network is written against this interface, so the same protocol
+// engine code drives both worlds; see docs/transport.md for the split.
+type Conduit interface {
+	// Attach registers node's receive handler.
+	Attach(node int, h Handler)
+	// Broadcast transmits msg from the sender to every reachable node.
+	Broadcast(from int, msg Message) error
+	// Unicast transmits msg to one node.
+	Unicast(from, to int, msg Message) error
+	// Stats returns the delivery counters accumulated so far.
+	Stats() Stats
+}
+
+// Medium is the canonical simulated Conduit.
+var _ Conduit = (*Medium)(nil)

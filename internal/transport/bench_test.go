@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// Loopback benchmarks, gated by jrsnd-benchgate (suite "transport",
+// baseline BENCH_transport.json). These measure the full socket path —
+// encode, kernel round trip, dispatch — so they bound what any consumer
+// of the transport can hope for on one machine.
+
+// benchPair returns two mutually-registered endpoints.
+func benchPair(b *testing.B, onFrame0, onFrame1 func(from int, frame []byte)) (*Endpoint, *Endpoint) {
+	b.Helper()
+	dir := StaticDirectory{0: testKey(0), 1: testKey(1)}
+	e0, err := Listen("127.0.0.1:0", Config{Node: 0, Key: testKey(0), Directory: dir, OnFrame: onFrame0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e0.Close() })
+	e1, err := Listen("127.0.0.1:0", Config{Node: 1, Key: testKey(1), Directory: dir, OnFrame: onFrame1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e1.Close() })
+	if err := e0.Dial(e1.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e0.PeerCount() != 1 || e1.PeerCount() != 1 {
+		if time.Now().After(deadline) {
+			b.Fatal("handshake did not complete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return e0, e1
+}
+
+// BenchmarkLoopbackRoundTrip: node 0 sends a frame to node 1, node 1
+// echoes it back; one iteration is the full there-and-back — two
+// datagrams through the kernel plus both dispatch paths. UDP may drop
+// even on loopback, so a lost echo is retransmitted after a timeout
+// rather than hanging the benchmark.
+func BenchmarkLoopbackRoundTrip(b *testing.B) {
+	echoed := make(chan struct{}, 1)
+	var e0, e1 *Endpoint
+	e0, e1 = benchPair(b,
+		func(from int, frame []byte) {
+			select {
+			case echoed <- struct{}{}:
+			default:
+			}
+		},
+		func(from int, frame []byte) { _ = e1.Send(0, frame) },
+	)
+	frame := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e0.Send(1, frame); err != nil {
+			b.Fatal(err)
+		}
+		for done := false; !done; {
+			select {
+			case <-echoed:
+				done = true
+			case <-time.After(200 * time.Millisecond):
+				if err := e0.Send(1, frame); err != nil { // the datagram was lost; go again
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBroadcastFanOut: one broadcast to 8 registered peers; an
+// iteration completes when every peer has received the frame.
+func BenchmarkBroadcastFanOut(b *testing.B) {
+	const peers = 8
+	dir := StaticDirectory{0: testKey(0)}
+	for i := 1; i <= peers; i++ {
+		dir[i] = testKey(i)
+	}
+	rx := make(chan struct{}, peers*4)
+	hub, err := Listen("127.0.0.1:0", Config{Node: 0, Key: testKey(0), Directory: dir, MaxPeers: peers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { hub.Close() })
+	for i := 1; i <= peers; i++ {
+		e, err := Listen("127.0.0.1:0", Config{
+			Node: i, Key: testKey(i), Directory: dir,
+			OnFrame: func(from int, frame []byte) { rx <- struct{}{} },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { e.Close() })
+		if err := e.Dial(hub.Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for hub.PeerCount() != peers {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d/%d peers registered", hub.PeerCount(), peers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	frame := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sent, err := hub.Broadcast(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for got := 0; got < sent; {
+			select {
+			case <-rx:
+				got++
+			case <-time.After(200 * time.Millisecond):
+				got = sent // drops happen under load; don't wait on lost datagrams
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"repro/internal/codepool"
+)
+
+// The handshake authenticates a peer's code-slot identity. When the
+// jrsnd-authority provisions a deployment slot it hands the node its
+// spread-code set; NodeKey compresses that assignment into a per-node
+// key, and the handshake MACs prove the speaker holds the assignment the
+// authority's registry records for the claimed node ID. A datagram
+// source that cannot produce the MAC never becomes a peer — it is
+// counted and dropped.
+//
+// Threat model: this binds a peer to an authority-issued identity and
+// rejects accidental cross-deployment traffic and casual spoofing; it is
+// not a full key exchange (no session encryption, and a recorded HELLO
+// can be replayed toward a responder — the initiator side is protected
+// by its fresh nonce). The paper's identity-based crypto runs at the
+// protocol layer above; see docs/transport.md §3 for the split and the
+// hardening path.
+
+// ErrBadMAC: the handshake MAC did not verify against the directory's
+// record for the claimed node ID.
+var ErrBadMAC = errors.New("transport: handshake MAC verification failed")
+
+// Directory resolves a node ID to its handshake key. The daemon backs it
+// with the authority's GET /v1/node (plus a cache); tests use a
+// StaticDirectory.
+type Directory interface {
+	NodeKey(ctx context.Context, node int) ([]byte, error)
+}
+
+// StaticDirectory is a fixed in-memory Directory for tests and
+// single-process deployments.
+type StaticDirectory map[int][]byte
+
+// NodeKey returns the stored key; unknown nodes resolve to an error.
+func (d StaticDirectory) NodeKey(_ context.Context, node int) ([]byte, error) {
+	key, ok := d[node]
+	if !ok {
+		return nil, errors.New("transport: node not in static directory")
+	}
+	return key, nil
+}
+
+// NodeKey derives the handshake key of a provisioned node from its
+// authority assignment: SHA-256 over a domain tag, the node ID, and the
+// sorted code set. Both the node itself (from its provision response)
+// and a verifier (from the authority's assignment registry) compute the
+// same bytes.
+func NodeKey(node int, codes []codepool.CodeID) []byte {
+	sorted := make([]codepool.CodeID, len(codes))
+	copy(sorted, codes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h := sha256.New()
+	h.Write([]byte("jrsnd-transport-key-v1"))
+	var be [4]byte
+	binary.BigEndian.PutUint32(be[:], uint32(node))
+	h.Write(be[:])
+	for _, c := range sorted {
+		binary.BigEndian.PutUint32(be[:], uint32(c))
+		h.Write(be[:])
+	}
+	return h.Sum(nil)
+}
+
+// macTranscript computes HMAC-SHA256(key, label || parties || nonces).
+func macTranscript(key []byte, label string, parties []int, nonces ...[]byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(label))
+	var be [4]byte
+	for _, p := range parties {
+		binary.BigEndian.PutUint32(be[:], uint32(p))
+		mac.Write(be[:])
+	}
+	for _, n := range nonces {
+		binary.BigEndian.PutUint32(be[:], uint32(len(n)))
+		mac.Write(be[:])
+		mac.Write(n)
+	}
+	return mac.Sum(nil)
+}
+
+// helloMAC authenticates a dgHello: the initiator proves its code-slot
+// key over (sender, nonce).
+func helloMAC(key []byte, sender int, nonce []byte) []byte {
+	return macTranscript(key, "jrsnd-hs1", []int{sender}, nonce)
+}
+
+// ackMAC authenticates a dgAck: the responder proves its code-slot key
+// over the full transcript (responder, initiator, both nonces).
+func ackMAC(key []byte, responder, initiator int, initiatorNonce, responderNonce []byte) []byte {
+	return macTranscript(key, "jrsnd-hs2", []int{responder, initiator}, initiatorNonce, responderNonce)
+}
+
+// verifyMAC compares in constant time.
+func verifyMAC(want, got []byte) bool { return hmac.Equal(want, got) }

@@ -1,0 +1,85 @@
+package transport
+
+import "repro/internal/metrics"
+
+// transportMetrics holds the endpoint's instruments. A nil receiver (no
+// registry configured) makes every update a no-op, matching the
+// convention of internal/core's coreMetrics.
+type transportMetrics struct {
+	peers      *metrics.Gauge
+	txDgrams   *metrics.Counter
+	rxDgrams   *metrics.Counter
+	handshakes *metrics.Counter
+
+	dropDecode    *metrics.Counter
+	dropRatelimit *metrics.Counter
+	dropUnknown   *metrics.Counter
+}
+
+// Drop reasons, used both as metric labels and trace details.
+const (
+	dropDecode    = "decode"
+	dropRatelimit = "ratelimit"
+	dropUnknown   = "unknown_peer"
+)
+
+func newTransportMetrics(reg *metrics.Registry) *transportMetrics {
+	if reg == nil {
+		return nil
+	}
+	drops := func(reason string) *metrics.Counter {
+		return reg.Counter(`jrsnd_transport_drops_total{reason="`+metrics.EscapeLabelValue(reason)+`"}`,
+			"datagrams dropped by the transport receive path, by reason")
+	}
+	return &transportMetrics{
+		peers:         reg.Gauge("jrsnd_transport_peers", "authenticated peers currently registered"),
+		txDgrams:      reg.Counter("jrsnd_node_tx_datagrams_total", "UDP datagrams transmitted"),
+		rxDgrams:      reg.Counter("jrsnd_node_rx_datagrams_total", "UDP datagrams received"),
+		handshakes:    reg.Counter("jrsnd_transport_handshakes_total", "handshakes completed (peer registrations)"),
+		dropDecode:    drops(dropDecode),
+		dropRatelimit: drops(dropRatelimit),
+		dropUnknown:   drops(dropUnknown),
+	}
+}
+
+func (m *transportMetrics) onPeers(n int) {
+	if m == nil {
+		return
+	}
+	m.peers.Set(float64(n))
+}
+
+func (m *transportMetrics) onTx() {
+	if m == nil {
+		return
+	}
+	m.txDgrams.Inc()
+}
+
+func (m *transportMetrics) onRx() {
+	if m == nil {
+		return
+	}
+	m.rxDgrams.Inc()
+}
+
+func (m *transportMetrics) onHandshake() {
+	if m == nil {
+		return
+	}
+	m.handshakes.Inc()
+}
+
+func (m *transportMetrics) onDrop(reason string) {
+	if m == nil {
+		return
+	}
+	switch reason {
+	case dropDecode:
+		m.dropDecode.Inc()
+	case dropRatelimit:
+		m.dropRatelimit.Inc()
+	case dropUnknown:
+		m.dropUnknown.Inc()
+	}
+}

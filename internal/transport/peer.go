@@ -1,0 +1,46 @@
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// peer is one registered, authenticated remote endpoint. Outbound
+// datagrams go through a bounded queue drained by a dedicated send loop
+// (sendLoop in endpoint.go); a full queue drops the datagram rather than
+// blocking the caller — backpressure on a best-effort datagram transport
+// is a drop, counted under the ratelimit reason.
+type peer struct {
+	id   int
+	addr *net.UDPAddr
+	key  string // addr.String(), the byAddr index key
+
+	out  chan []byte   // bounded outbound queue
+	done chan struct{} // closed exactly once by removeLocked
+
+	lastSeen atomic.Int64 // unix nanoseconds of the last valid datagram
+	removed  bool         // guarded by Endpoint.mu; makes removal idempotent
+}
+
+// touch records activity at the given unix-nano timestamp.
+func (p *peer) touch(nanos int64) { p.lastSeen.Store(nanos) }
+
+// idleNanos returns how long the peer has been silent.
+func (p *peer) idleNanos(nowNanos int64) int64 { return nowNanos - p.lastSeen.Load() }
+
+// enqueue offers a datagram to the send loop without blocking; false
+// means the queue was full (or the peer is being torn down) and the
+// datagram was dropped.
+func (p *peer) enqueue(buf []byte) bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+	}
+	select {
+	case p.out <- buf:
+		return true
+	default:
+		return false
+	}
+}

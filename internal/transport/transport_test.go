@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/codepool"
+	"repro/internal/wire"
+)
+
+// Codec coverage: the envelope and handshake bodies must round-trip, and
+// every malformed shape must die with a typed error — never a panic, and
+// never an allocation driven by attacker-declared lengths.
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	body := []byte("the payload")
+	data := encodeEnvelope(dgFrame, 42, body)
+	env, err := decodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.kind != dgFrame || env.sender != 42 || !bytes.Equal(env.body, body) {
+		t.Fatalf("round trip mangled the envelope: %+v", env)
+	}
+}
+
+func TestEnvelopeRejections(t *testing.T) {
+	valid := encodeEnvelope(dgPing, 7, nil)
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", valid[:headerLen-1], ErrTruncated},
+		{"bad magic", append([]byte("XX"), valid[2:]...), ErrBadKind},
+		{"bad version", append([]byte{'J', 'R', 99}, valid[3:]...), ErrBadKind},
+		{"kind zero", append([]byte{'J', 'R', Version, 0}, valid[4:]...), ErrBadKind},
+		{"kind high", append([]byte{'J', 'R', Version, numDgKinds + 1}, valid[4:]...), ErrBadKind},
+	}
+	for _, c := range cases {
+		if _, err := decodeEnvelope(c.data); !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestHandshakeBodiesRoundTrip(t *testing.T) {
+	h := helloBody{Nonce: bytes.Repeat([]byte{1}, nonceSize), MAC: bytes.Repeat([]byte{2}, macSize)}
+	got, err := decodeHello(encodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Nonce, h.Nonce) || !bytes.Equal(got.MAC, h.MAC) {
+		t.Fatalf("hello mangled: %+v", got)
+	}
+
+	a := ackBody{
+		Echo:  bytes.Repeat([]byte{3}, nonceSize),
+		Nonce: bytes.Repeat([]byte{4}, nonceSize),
+		MAC:   bytes.Repeat([]byte{5}, macSize),
+	}
+	gotA, err := decodeAck(encodeAck(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA.Echo, a.Echo) || !bytes.Equal(gotA.Nonce, a.Nonce) || !bytes.Equal(gotA.MAC, a.MAC) {
+		t.Fatalf("ack mangled: %+v", gotA)
+	}
+}
+
+func TestHandshakeBodyRejections(t *testing.T) {
+	hello := encodeHello(helloBody{Nonce: make([]byte, nonceSize), MAC: make([]byte, macSize)})
+
+	// A declared field length past the cap must be refused before any
+	// allocation sized by it.
+	huge := []byte{0xFF, 0xFF} // declares a 65535-byte field
+	if _, err := decodeHello(huge); !errors.Is(err, ErrOverflow) {
+		t.Errorf("oversized field: got %v, want ErrOverflow", err)
+	}
+	if _, err := decodeHello(hello[:3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated field: got %v, want ErrTruncated", err)
+	}
+	if _, err := decodeHello(append(hello, 0)); !errors.Is(err, ErrOverflow) {
+		t.Errorf("trailing bytes: got %v, want ErrOverflow", err)
+	}
+	if _, err := decodeAck(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty ack: got %v, want ErrTruncated", err)
+	}
+}
+
+// TestNodeKeyCanonical: the key must not depend on the order the codes
+// arrived in — the node derives from its provision response, the verifier
+// from the registry, and slice order is not part of the identity.
+func TestNodeKeyCanonical(t *testing.T) {
+	a := NodeKey(3, []codepool.CodeID{9, 1, 5})
+	b := NodeKey(3, []codepool.CodeID{5, 9, 1})
+	if !bytes.Equal(a, b) {
+		t.Fatal("NodeKey depends on code order")
+	}
+	if bytes.Equal(a, NodeKey(4, []codepool.CodeID{9, 1, 5})) {
+		t.Fatal("NodeKey ignores the node ID")
+	}
+	if bytes.Equal(a, NodeKey(3, []codepool.CodeID{9, 1, 6})) {
+		t.Fatal("NodeKey ignores the code set")
+	}
+}
+
+func TestHandshakeMACs(t *testing.T) {
+	key := NodeKey(1, []codepool.CodeID{2, 3})
+	nonce := bytes.Repeat([]byte{7}, nonceSize)
+	mac := helloMAC(key, 1, nonce)
+	if !verifyMAC(helloMAC(key, 1, nonce), mac) {
+		t.Fatal("helloMAC does not verify against itself")
+	}
+	if verifyMAC(helloMAC(key, 2, nonce), mac) {
+		t.Fatal("helloMAC ignores the sender ID")
+	}
+	wrong := NodeKey(1, []codepool.CodeID{2, 4})
+	if verifyMAC(helloMAC(wrong, 1, nonce), mac) {
+		t.Fatal("helloMAC ignores the key")
+	}
+}
+
+func TestMaxDatagramCapped(t *testing.T) {
+	lim := wire.DefaultLimits()
+	lim.MaxFrame = 4096
+	if got := maxDatagram(lim); got != headerLen+lim.MaxFrame {
+		t.Fatalf("maxDatagram = %d, want %d", got, headerLen+lim.MaxFrame)
+	}
+	lim.MaxFrame = 1 << 20
+	if got := maxDatagram(lim); got != 65507 {
+		t.Fatalf("maxDatagram must cap at the UDP ceiling, got %d", got)
+	}
+}
+
+func TestStaticDirectory(t *testing.T) {
+	d := StaticDirectory{1: []byte("k")}
+	if key, err := d.NodeKey(context.Background(), 1); err != nil || string(key) != "k" {
+		t.Fatalf("lookup: %q, %v", key, err)
+	}
+	if _, err := d.NodeKey(context.Background(), 2); err == nil {
+		t.Fatal("unknown node must not resolve")
+	}
+}
