@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench authd-crash authd-replica lint prof benchgate node-e2e
+.PHONY: build test tier1 race bench report chaos fuzz vuln authd-smoke authd-bench authd-crash authd-replica lint lint-fixtures prof benchgate node-e2e
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,7 @@ test: build
 tier1: build
 	$(GO) vet ./...
 	$(MAKE) lint
+	$(MAKE) lint-fixtures
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) authd-smoke
@@ -31,12 +32,23 @@ benchgate:
 	$(GO) run ./cmd/jrsnd-benchgate
 
 # lint machine-enforces the repo invariants (determinism, bounded decode,
-# constant-time compares, lock hygiene) with the stdlib-only analyzer in
-# internal/lint; JSON findings are folded into a one-line summary and the
-# pipeline exits non-zero on any unsuppressed finding. See
+# constant-time compares, goroutine lifecycle, lock ordering, hot-path
+# allocation freedom) with the stdlib-only analyzer in internal/lint;
+# JSON findings are folded into a one-line summary and the pipeline exits
+# non-zero on any unsuppressed finding. Restrict the run with
+# `make lint LINT_CHECKS=goroutinelifecycle,lockorder`. See
 # docs/static-analysis.md.
 lint:
-	$(GO) run ./cmd/jrsnd-lint -json ./... | $(GO) run ./cmd/jrsnd-lint -summarize
+	$(GO) run ./cmd/jrsnd-lint -json $(if $(LINT_CHECKS),-checks $(LINT_CHECKS)) ./... | $(GO) run ./cmd/jrsnd-lint -summarize
+
+# lint-fixtures is the analyzer liveness gate: every seeded-violation
+# fixture (leaked goroutine, AB/BA lock cycle, allocating hot path, plus
+# the lexical goldens) must produce exactly its expected findings, and
+# the gcflags=-m escape cross-check must agree with hotpathalloc. A
+# broken analyzer that reports nothing fails here instead of letting
+# `make lint` pass vacuously.
+lint-fixtures:
+	$(GO) test -count=1 -run 'TestGolden|TestSeeded|TestStale|TestSuiteScope|TestHotpathEscape' ./internal/lint ./cmd/jrsnd-lint
 
 # chaos runs the fault-injection matrix under the race detector: jammer ×
 # churn × channel-loss cells with invariant and determinism checking. See

@@ -413,7 +413,8 @@ type child struct {
 	url    string
 	lines  bytes.Buffer
 	mu     sync.Mutex
-	exited chan int // exit status, buffered
+	exited chan int       // exit status, buffered
+	scanWg sync.WaitGroup // joins the stdout scanner goroutine
 }
 
 // startChild launches `exe` as a durable server on an ephemeral port,
@@ -442,7 +443,12 @@ func startChild(exe, dir string, snapEvery int, seed int64, extra []string) (*ch
 	if err := c.cmd.Start(); err != nil {
 		return nil, err
 	}
+	// The scanner goroutine terminates when the pipe closes on process
+	// exit; scanWg joins it so reads of the line buffer after an exit
+	// observe the complete output.
+	c.scanWg.Add(1)
 	go func() {
+		defer c.scanWg.Done()
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			line := sc.Text()
@@ -487,6 +493,7 @@ func (c *child) kill() {
 	_ = c.cmd.Process.Kill()
 	code := <-c.exited
 	c.exited <- code // keep readable for a later wait()
+	c.scanWg.Wait()
 }
 
 // wait blocks until the child exits on its own (the armed crash) and
@@ -494,10 +501,12 @@ func (c *child) kill() {
 func (c *child) wait(timeout time.Duration) (int, error) {
 	select {
 	case code := <-c.exited:
+		c.scanWg.Wait()
 		return code, nil
 	case <-time.After(timeout):
 		_ = c.cmd.Process.Kill()
 		<-c.exited
+		c.scanWg.Wait()
 		return 0, errors.New("timed out waiting for the armed crash")
 	}
 }

@@ -5,6 +5,9 @@
 //	jrsnd-lint -json ./...           # full Result as JSON on stdout
 //	jrsnd-lint -checks wallclock,globalrand ./internal/core
 //	jrsnd-lint -summarize < lint.json  # one-line verdict from a -json run
+//	jrsnd-lint -dir testdata/x=repro/internal/authd/xtest  # fixture mode:
+//	    load one directory under a chosen import path (go list skips
+//	    testdata, and analyzer scoping keys on the import path)
 //
 // Exit codes: 0 clean (suppressions are fine), 1 findings, 2 usage or
 // load failure. See docs/static-analysis.md for the invariants and the
@@ -31,6 +34,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit the full result as JSON on stdout")
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	dirMode := fs.String("dir", "", "fixture mode: load one directory as <path>=<importpath> instead of package patterns")
 	summarize := fs.Bool("summarize", false, "read a -json result from stdin and print the one-line verdict")
 	verbose := fs.Bool("v", false, "also print suppressed findings with their directive reasons")
 	if err := fs.Parse(args); err != nil {
@@ -61,10 +65,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "jrsnd-lint: %v\n", err)
 		return 2
 	}
-	pkgs, err := loader.LoadPatterns(fs.Args()...)
-	if err != nil {
-		fmt.Fprintf(stderr, "jrsnd-lint: %v\n", err)
-		return 2
+	var pkgs []*lint.Package
+	if *dirMode != "" {
+		dir, asPath, ok := strings.Cut(*dirMode, "=")
+		if !ok || dir == "" || asPath == "" {
+			fmt.Fprintln(stderr, "jrsnd-lint: -dir wants <path>=<importpath>")
+			return 2
+		}
+		pkg, err := loader.LoadDir(dir, asPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "jrsnd-lint: %v\n", err)
+			return 2
+		}
+		pkgs = []*lint.Package{pkg}
+	} else {
+		pkgs, err = loader.LoadPatterns(fs.Args()...)
+		if err != nil {
+			fmt.Fprintf(stderr, "jrsnd-lint: %v\n", err)
+			return 2
+		}
 	}
 
 	res := lint.Run(pkgs, analyzers)

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestSeededFixturesExit1 is the analyzer liveness gate `make
+// lint-fixtures` runs: each seeded-violation fixture must fail the lint
+// (exit 1) with at least the expected number of findings for its check.
+// A broken analyzer that reports nothing fails here instead of passing
+// the repo-wide lint silently.
+func TestSeededFixturesExit1(t *testing.T) {
+	cases := []struct {
+		check       string
+		dir         string
+		minFindings int
+	}{
+		// Leaked goroutines: inline, via named function, Done without Add.
+		{"goroutinelifecycle", "../../internal/lint/testdata/goroutinelifecycle=repro/internal/transport/gltest", 3},
+		// The AB/BA cycle and the reentrant double-lock.
+		{"lockorder", "../../internal/lint/testdata/lockorder=repro/internal/authd/lotest", 2},
+		// The allocating //jrsnd:hotpath callee, one finding per construct.
+		{"hotpathalloc", "../../internal/lint/testdata/hotpathalloc=repro/internal/dsss/hptest", 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.check, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			code := run([]string{"-json", "-checks", tc.check, "-dir", tc.dir},
+				strings.NewReader(""), &out, &errw)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+			}
+			var res lint.Result
+			if err := json.NewDecoder(&out).Decode(&res); err != nil {
+				t.Fatalf("decode -json output: %v", err)
+			}
+			got := 0
+			for _, d := range res.Findings {
+				if d.Check == tc.check {
+					got++
+				}
+			}
+			if got < tc.minFindings {
+				t.Errorf("findings for %s = %d, want >= %d: %+v", tc.check, got, tc.minFindings, res.Findings)
+			}
+			if len(res.Suppressed) == 0 {
+				t.Errorf("fixture should also exercise //jrsnd:allow %s suppression", tc.check)
+			}
+		})
+	}
+}
+
+// TestDirFlagUsage pins the <path>=<importpath> syntax.
+func TestDirFlagUsage(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-dir", "nosuchseparator"}, strings.NewReader(""), &out, &errw); code != 2 {
+		t.Errorf("exit = %d, want 2 for malformed -dir", code)
+	}
+	if !strings.Contains(errw.String(), "<path>=<importpath>") {
+		t.Errorf("usage hint missing: %q", errw.String())
+	}
+}

@@ -332,6 +332,7 @@ type proc struct {
 	mu     sync.Mutex
 	lines  bytes.Buffer
 	exited chan int
+	scanWg sync.WaitGroup // joins the stdout scanner goroutine
 }
 
 // startProc launches exe and waits for a stdout line containing prefix;
@@ -347,7 +348,12 @@ func startProc(exe string, args []string, prefix string) (*proc, error) {
 	if err := p.cmd.Start(); err != nil {
 		return nil, err
 	}
+	// The scanner goroutine terminates when the pipe closes on process
+	// exit; scanWg joins it so reads of the line buffer after an exit
+	// observe the complete output.
+	p.scanWg.Add(1)
 	go func() {
+		defer p.scanWg.Done()
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			line := sc.Text()
@@ -395,6 +401,7 @@ func (p *proc) kill() {
 	_ = p.cmd.Process.Kill()
 	code := <-p.exited
 	p.exited <- code
+	p.scanWg.Wait()
 }
 
 // terminate sends SIGTERM and requires a clean exit.
@@ -405,6 +412,7 @@ func (p *proc) terminate() error {
 	select {
 	case code := <-p.exited:
 		p.exited <- code
+		p.scanWg.Wait()
 		if code != 0 {
 			return fmt.Errorf("exit status %d", code)
 		}
@@ -412,6 +420,7 @@ func (p *proc) terminate() error {
 	case <-time.After(30 * time.Second):
 		_ = p.cmd.Process.Kill()
 		<-p.exited
+		p.scanWg.Wait()
 		return errors.New("timed out draining")
 	}
 }

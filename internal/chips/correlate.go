@@ -6,6 +6,8 @@ import "math/bits"
 // NRZ sequences, (1/N) Σ u_i v_i, as defined in §III of the paper. The
 // result lies in [-1, 1]: +1 for identical sequences, -1 for chip-wise
 // inverses, and near 0 for independent random sequences.
+//
+//jrsnd:hotpath
 func Correlate(u, v Sequence) (float64, error) {
 	if u.n != v.n {
 		return 0, ErrLengthMismatch
@@ -29,6 +31,8 @@ func Correlate(u, v Sequence) (float64, error) {
 // output of a channel that superimposes several ±1 signals). Each buffer
 // element is the signed sum of the concurrently transmitted chips at that
 // position. The caller must guarantee off+code.Len() <= len(buf).
+//
+//jrsnd:hotpath
 func CorrelateAt(code Sequence, buf []int32, off int) float64 {
 	n := code.Len()
 	if n == 0 {

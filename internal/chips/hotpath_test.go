@@ -1,0 +1,40 @@
+package chips
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The correlation kernels are //jrsnd:hotpath roots: the DSSS receiver
+// evaluates them once per (offset, code) candidate, so they must not
+// allocate. The static hotpathalloc analyzer enforces this at lint time;
+// these tests pin it at runtime.
+
+func TestCorrelateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := NewRandom(rng, 512)
+	v := NewRandom(rng, 512)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := Correlate(u, v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Correlate allocates %v objects per run, want 0", allocs)
+	}
+}
+
+func TestCorrelateAtAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	code := NewRandom(rng, 512)
+	buf := make([]int32, 4096)
+	for i := range buf {
+		buf[i] = int32(rng.Intn(7) - 3)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = CorrelateAt(code, buf, 128)
+	})
+	if allocs != 0 {
+		t.Fatalf("CorrelateAt allocates %v objects per run, want 0", allocs)
+	}
+}

@@ -96,13 +96,26 @@ func Synchronize(buf []int32, codes []chips.Sequence, tau float64, msgBits int) 
 	// Only offsets that leave room for the whole message can host its
 	// start (footnote 1 of the paper).
 	last := len(buf) - msgBits*n
+	if res, ok := scanForSignal(buf, codes, tau, last); ok {
+		return res, nil
+	}
+	return SyncResult{}, ErrNoSignal
+}
+
+// scanForSignal is the sliding-window correlation kernel: every chip
+// offset in [0, last] is correlated against every candidate code until
+// one reaches the threshold. This inner loop runs len(buf)×len(codes)
+// correlations per synchronization attempt and must stay allocation-free.
+//
+//jrsnd:hotpath
+func scanForSignal(buf []int32, codes []chips.Sequence, tau float64, last int) (SyncResult, bool) {
 	for off := 0; off <= last; off++ {
-		for ci, code := range codes {
-			corr := chips.CorrelateAt(code, buf, off)
+		for ci := range codes {
+			corr := chips.CorrelateAt(codes[ci], buf, off)
 			if corr >= tau || corr <= -tau {
-				return SyncResult{CodeIndex: ci, Offset: off, FirstCorr: corr}, nil
+				return SyncResult{CodeIndex: ci, Offset: off, FirstCorr: corr}, true
 			}
 		}
 	}
-	return SyncResult{}, ErrNoSignal
+	return SyncResult{}, false
 }

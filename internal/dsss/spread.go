@@ -22,6 +22,16 @@ const Erased byte = 0xFF
 // the buffer.
 var ErrNoSignal = errors.New("dsss: no recognizable signal in buffer")
 
+// Sentinel errors for the allocation-free de-spread kernel: the hot path
+// cannot format (fmt allocates), so it reports these and the allocating
+// wrappers re-derive the detailed message.
+var (
+	ErrEmptyCode    = errors.New("dsss: empty spread code")
+	ErrBadThreshold = errors.New("dsss: threshold τ must be in (0,1)")
+	ErrWindowRange  = errors.New("dsss: despread window out of buffer range")
+	ErrErasureRoom  = errors.New("dsss: erasure scratch shorter than bit count")
+)
+
 // BytesToBits expands bytes MSB-first into a 0/1 slice.
 func BytesToBits(data []byte) []byte {
 	bits := make([]byte, 8*len(data))
@@ -79,23 +89,30 @@ func Spread(bits []byte, code chips.Sequence) (chips.Sequence, error) {
 	return out, nil
 }
 
-// DespreadAt de-spreads numBits message bits from the multi-level chip
-// buffer starting at chip offset off, using the given code and threshold
-// τ. Bits whose correlation magnitude is below τ come back as Erased, and
-// their indices are returned as erasures.
-func DespreadAt(buf []int32, off int, code chips.Sequence, tau float64, numBits int) (bits []byte, erasures []int, err error) {
+// DespreadInto is the allocation-free de-spread kernel: it fills bits
+// (one message bit per code-length window, starting at chip offset off)
+// and records the indices of Erased bits in the caller-provided erasures
+// scratch, returning the erasure count. erasures must be at least
+// len(bits) long. On bad inputs it reports a sentinel error; DespreadAt
+// wraps this kernel with formatted diagnostics.
+//
+//jrsnd:hotpath
+func DespreadInto(bits []byte, erasures []int, buf []int32, off int, code chips.Sequence, tau float64) (int, error) {
 	n := code.Len()
 	if n == 0 {
-		return nil, nil, errors.New("dsss: empty spread code")
+		return 0, ErrEmptyCode
 	}
 	if tau <= 0 || tau >= 1 {
-		return nil, nil, fmt.Errorf("dsss: threshold τ=%v must be in (0,1)", tau)
+		return 0, ErrBadThreshold
 	}
-	if off < 0 || off+numBits*n > len(buf) {
-		return nil, nil, fmt.Errorf("dsss: window [%d, %d) out of buffer range [0, %d)", off, off+numBits*n, len(buf))
+	if off < 0 || off+len(bits)*n > len(buf) {
+		return 0, ErrWindowRange
 	}
-	bits = make([]byte, numBits)
-	for i := 0; i < numBits; i++ {
+	if len(erasures) < len(bits) {
+		return 0, ErrErasureRoom
+	}
+	count := 0
+	for i := range bits {
 		corr := chips.CorrelateAt(code, buf, off+i*n)
 		switch {
 		case corr >= tau:
@@ -104,8 +121,37 @@ func DespreadAt(buf []int32, off int, code chips.Sequence, tau float64, numBits 
 			bits[i] = 0
 		default:
 			bits[i] = Erased
-			erasures = append(erasures, i)
+			erasures[count] = i
+			count++
 		}
+	}
+	return count, nil
+}
+
+// DespreadAt de-spreads numBits message bits from the multi-level chip
+// buffer starting at chip offset off, using the given code and threshold
+// τ. Bits whose correlation magnitude is below τ come back as Erased, and
+// their indices are returned as erasures. It allocates the result slices
+// and formats diagnostics; the per-window work happens in DespreadInto.
+func DespreadAt(buf []int32, off int, code chips.Sequence, tau float64, numBits int) (bits []byte, erasures []int, err error) {
+	n := code.Len()
+	if n == 0 {
+		return nil, nil, ErrEmptyCode
+	}
+	if tau <= 0 || tau >= 1 {
+		return nil, nil, fmt.Errorf("dsss: threshold τ=%v must be in (0,1)", tau)
+	}
+	if off < 0 || off+numBits*n > len(buf) {
+		return nil, nil, fmt.Errorf("dsss: window [%d, %d) out of buffer range [0, %d)", off, off+numBits*n, len(buf))
+	}
+	bits = make([]byte, numBits)
+	scratch := make([]int, numBits)
+	count, err := DespreadInto(bits, scratch, buf, off, code, tau)
+	if err != nil {
+		return nil, nil, err
+	}
+	if count > 0 {
+		erasures = scratch[:count]
 	}
 	return bits, erasures, nil
 }

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The call-graph substrate shared by the interprocedural analyzers
+// (goroutinelifecycle, lockorder, hotpathalloc). It is built once per
+// Run over the loaded package set and records, for every function or
+// method declared in a loaded package, the static calls its body makes.
+//
+// Soundness limits (documented in docs/static-analysis.md):
+//   - Calls through function values (callbacks, fields of func type) are
+//     invisible: the callee cannot be resolved statically.
+//   - Calls through an interface resolve to the *declared interface
+//     method*, never to its implementations. The site is recorded with
+//     Interface=true so analyzers can treat it as an analysis boundary.
+//   - Code inside a FuncLit is attributed to the enclosing declared
+//     function (flattened), an over-approximation for deferred or
+//     spawned closures.
+//
+// Functions are keyed by types.Func.FullName(), which is stable between
+// a source-loaded package and the same package seen through export data,
+// so cross-package edges resolve to the source-loaded body when one
+// exists.
+
+// CallSite is one statically resolved call.
+type CallSite struct {
+	// Callee is the FullName key of the resolved callee.
+	Callee string
+	// Obj is the callee as seen from the caller's package (possibly an
+	// export-data object).
+	Obj *types.Func
+	// Pos is the call position.
+	Pos token.Pos
+	// Interface marks dynamic dispatch through a declared interface
+	// method: the graph does not expand it to implementations.
+	Interface bool
+}
+
+// FuncNode is one declared function or method with a body.
+type FuncNode struct {
+	// Key is the FullName of the declared object.
+	Key string
+	// Pkg is the loaded package declaring the function.
+	Pkg *Package
+	// Decl is the source declaration (Body non-nil).
+	Decl *ast.FuncDecl
+	// Obj is the declared *types.Func.
+	Obj *types.Func
+	// Calls are the statically resolved calls in body order.
+	Calls []CallSite
+}
+
+// CallGraph indexes every declared function in a loaded package set.
+type CallGraph struct {
+	// Funcs maps FullName keys to declared nodes.
+	Funcs map[string]*FuncNode
+	// modulePkgs is the set of loaded import paths, distinguishing
+	// module-internal callees (whose bodies the graph holds) from
+	// external ones.
+	modulePkgs map[string]bool
+}
+
+// BuildCallGraph walks every loaded package once and records the static
+// call edges.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Funcs: map[string]*FuncNode{}, modulePkgs: map[string]bool{}}
+	for _, pkg := range pkgs {
+		g.modulePkgs[pkg.Path] = true
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Key: obj.FullName(), Pkg: pkg, Decl: fd, Obj: obj}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee, iface := CalleeOf(pkg.Info, call)
+					if callee == nil {
+						return true
+					}
+					node.Calls = append(node.Calls, CallSite{
+						Callee:    callee.FullName(),
+						Obj:       callee,
+						Pos:       call.Pos(),
+						Interface: iface,
+					})
+					return true
+				})
+				g.Funcs[node.Key] = node
+			}
+		}
+	}
+	return g
+}
+
+// CalleeOf resolves the static callee of a call expression, reporting
+// whether the dispatch goes through an interface. Builtins, conversions,
+// and function-value calls resolve to nil.
+func CalleeOf(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn, false
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn, types.IsInterface(sel.Recv())
+			}
+			return nil, false
+		}
+		// Package-qualified call (pkg.Func).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn, false
+		}
+	}
+	return nil, false
+}
+
+// Node returns the declared node for a callee object, nil when the
+// callee's body is outside the loaded set (stdlib, interface method).
+func (g *CallGraph) Node(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return g.Funcs[fn.FullName()]
+}
+
+// Closure computes the static call closure of the given root keys,
+// restricted to functions with loaded bodies. The result maps each
+// member to the call chain (FullName keys, root first) that reached it;
+// roots map to a one-element chain. Interface call sites are analysis
+// boundaries and are not expanded. Traversal order is deterministic:
+// roots are visited sorted, calls in body order.
+func (g *CallGraph) Closure(roots []string) map[string][]string {
+	sorted := append([]string(nil), roots...)
+	sort.Strings(sorted)
+	reached := map[string][]string{}
+	var visit func(key string, chain []string)
+	visit = func(key string, chain []string) {
+		node := g.Funcs[key]
+		if node == nil {
+			return
+		}
+		if _, ok := reached[key]; ok {
+			return
+		}
+		chain = append(append([]string(nil), chain...), key)
+		reached[key] = chain
+		for _, c := range node.Calls {
+			if c.Interface {
+				continue
+			}
+			visit(c.Callee, chain)
+		}
+	}
+	for _, r := range sorted {
+		visit(r, nil)
+	}
+	return reached
+}
+
+// ShortFuncName renders a FullName key compactly for messages:
+// "repro/internal/dsss.DespreadInto" → "dsss.DespreadInto",
+// "(*repro/internal/transport.Endpoint).sendLoop" →
+// "(*transport.Endpoint).sendLoop".
+func ShortFuncName(key string) string {
+	shorten := func(qual string) string {
+		if i := strings.LastIndex(qual, "/"); i >= 0 {
+			return qual[i+1:]
+		}
+		return qual
+	}
+	if strings.HasPrefix(key, "(") {
+		if i := strings.LastIndex(key, ")."); i >= 0 {
+			recv, meth := key[1:i], key[i+2:]
+			star := ""
+			if strings.HasPrefix(recv, "*") {
+				star, recv = "*", recv[1:]
+			}
+			return "(" + star + shorten(recv) + ")." + meth
+		}
+	}
+	return shorten(key)
+}

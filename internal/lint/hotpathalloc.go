@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotpathalloc: the DSSS correlation inner loop runs once per candidate
+// (offset, code, tau) triple — millions of evaluations per synchronization
+// window — so a single allocation in it turns into GC pressure that the
+// jamming-resilience benchmarks (and the compressed-sensing scale regimes
+// the ROADMAP targets) cannot absorb. A function marked with the
+//
+//	//jrsnd:hotpath
+//
+// directive promises its full static call closure is allocation-free.
+// The analyzer walks the closure through the shared call graph and flags
+// every construct the compiler would (or could) heap-allocate:
+//
+//   - make of any kind, and append (statically unprovable to stay in cap)
+//   - map writes
+//   - interface boxing: a concrete value converted to an interface in a
+//     call argument (including variadic ...any), assignment, or return
+//   - closures (func literals capture and escape)
+//   - string <-> []byte conversions
+//   - known-allocating stdlib calls (fmt.*, errors.New, strings.Join, …)
+//
+// Tests cross-check the marked kernels against `go build -gcflags=-m`
+// escape output so the analyzer and the compiler agree. Interface call
+// sites are analysis boundaries (see callgraph.go); the seeded kernels
+// have none.
+
+const hotpathDirective = "jrsnd:hotpath"
+
+var hotpathallocAnalyzer = &Analyzer{
+	Name:     "hotpathalloc",
+	Doc:      "the static call closure of every //jrsnd:hotpath function must be allocation-free",
+	RunSuite: runHotpathalloc,
+}
+
+func runHotpathalloc(pass *SuitePass) {
+	var roots []string
+	for _, pkg := range pass.Pkgs {
+		roots = append(roots, hotpathRoots(pass, pkg)...)
+	}
+	closure := pass.Graph.Closure(roots)
+	// Deterministic member order: sort closure keys.
+	var members []string
+	for key := range closure {
+		members = append(members, key)
+	}
+	sort.Strings(members)
+	for _, key := range members {
+		node := pass.Graph.Funcs[key]
+		if node == nil {
+			continue
+		}
+		chain := closure[key]
+		scanHotFunction(pass, node, chain)
+	}
+}
+
+// hotpathRoots finds the //jrsnd:hotpath directives in one package and
+// resolves each to the function it marks. A directive that is not the
+// doc line of a function declaration is itself a finding: it silently
+// guards nothing.
+func hotpathRoots(pass *SuitePass, pkg *Package) []string {
+	var roots []string
+	for _, f := range pkg.Files {
+		// Map declaration start lines to keys for line-above attachment.
+		declByLine := map[int]string{}
+		docComments := map[*ast.CommentGroup]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if fd.Body != nil {
+				declByLine[pkg.Fset.Position(fd.Pos()).Line] = obj.FullName()
+			}
+			if fd.Doc != nil {
+				docComments[fd.Doc] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				fields := strings.Fields(strings.TrimPrefix(c.Text, "//"))
+				if len(fields) == 0 || fields[0] != hotpathDirective {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				if key, ok := declByLine[line+1]; ok {
+					roots = append(roots, key)
+					continue
+				}
+				pass.Reportf(c.Pos(),
+					"//jrsnd:hotpath directive is not attached to a function declaration with a body; place it on the line directly above the func")
+			}
+		}
+	}
+	return roots
+}
+
+// scanHotFunction flags every allocating construct in one closure
+// member. chain is the call path (root first) that pulled the member
+// into the hot closure.
+func scanHotFunction(pass *SuitePass, node *FuncNode, chain []string) {
+	info := node.Pkg.Info
+	where := hotWhere(chain)
+
+	// Track the innermost function signature for return-boxing checks.
+	var sigStack []*types.Signature
+	if sig, ok := node.Obj.Type().(*types.Signature); ok {
+		sigStack = append(sigStack, sig)
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(v.Pos(), "closure in hot path%s: func literals capture variables and escape to the heap", where)
+			// Still scan the body for the other constructs, with the
+			// literal's own signature for return checks.
+			if sig, ok := info.TypeOf(v).(*types.Signature); ok {
+				sigStack = append(sigStack, sig)
+				ast.Inspect(v.Body, walk)
+				sigStack = sigStack[:len(sigStack)-1]
+			}
+			return false
+		case *ast.CallExpr:
+			scanHotCall(pass, info, v, where)
+		case *ast.AssignStmt:
+			scanHotAssign(pass, info, v, where)
+		case *ast.ValueSpec:
+			scanHotValueSpec(pass, info, v, where)
+		case *ast.ReturnStmt:
+			if len(sigStack) > 0 {
+				scanHotReturn(pass, info, v, sigStack[len(sigStack)-1], where)
+			}
+		}
+		return true
+	}
+	ast.Inspect(node.Decl.Body, walk)
+}
+
+// hotWhere renders the call chain suffix for messages: "" for the root
+// itself, " (hot path dsss.DespreadInto -> chips.CorrelateAt)" deeper in.
+func hotWhere(chain []string) string {
+	if len(chain) <= 1 {
+		return " (hot path " + ShortFuncName(chain[0]) + ")"
+	}
+	var parts []string
+	for _, c := range chain {
+		parts = append(parts, ShortFuncName(c))
+	}
+	return " (hot path " + strings.Join(parts, " -> ") + ")"
+}
+
+// scanHotCall flags make/append, conversions, denylisted allocators, and
+// boxing at call arguments.
+func scanHotCall(pass *SuitePass, info *types.Info, call *ast.CallExpr, where string) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in hot path%s: allocates every call", where)
+			case "append":
+				pass.Reportf(call.Pos(), "append in hot path%s: growth beyond capacity allocates and the bound is not statically provable", where)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) where T is a type.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		from := info.TypeOf(call.Args[0])
+		to := tv.Type
+		if from != nil && isStringByteConv(from, to) {
+			pass.Reportf(call.Pos(), "string/[]byte conversion in hot path%s: copies the contents on every call", where)
+		}
+		return
+	}
+
+	// Denylisted stdlib allocators.
+	if callee, _ := CalleeOf(info, call); callee != nil && callee.Pkg() != nil {
+		if reason := allocatingStdlib(callee); reason != "" {
+			pass.Reportf(call.Pos(), "%s in hot path%s: %s", callee.Pkg().Name()+"."+callee.Name(), where, reason)
+			return
+		}
+	}
+
+	// Boxing at call arguments.
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (!sig.Variadic() && i < sig.Params().Len()):
+			param = sig.Params().At(i).Type()
+		case sig.Variadic() && call.Ellipsis == 0:
+			// A bare argument landing in the variadic slot: boxing is
+			// against the slice element type, and building the slice
+			// itself allocates.
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := last.Underlying().(*types.Slice); ok {
+				param = sl.Elem()
+			}
+		default:
+			if sig.Params().Len() > 0 {
+				param = sig.Params().At(sig.Params().Len() - 1).Type()
+			}
+		}
+		if param == nil {
+			continue
+		}
+		if boxes(info, arg, param) {
+			pass.Reportf(arg.Pos(), "interface boxing in hot path%s: concrete argument converted to %s allocates", where, param.String())
+		}
+	}
+}
+
+// scanHotAssign flags map writes and interface-boxing assignments.
+func scanHotAssign(pass *SuitePass, info *types.Info, as *ast.AssignStmt, where string) {
+	for i, lhs := range as.Lhs {
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if t := info.TypeOf(idx.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(lhs.Pos(), "map write in hot path%s: map assignment can allocate (bucket growth)", where)
+					continue
+				}
+			}
+		}
+		if i >= len(as.Rhs) {
+			continue // multi-value rhs: conversion happens at the call, checked there
+		}
+		lt := info.TypeOf(lhs)
+		if lt != nil && types.IsInterface(lt) && boxes(info, as.Rhs[i], lt) {
+			pass.Reportf(as.Rhs[i].Pos(), "interface boxing in hot path%s: concrete value assigned to %s allocates", where, lt.String())
+		}
+	}
+}
+
+// scanHotValueSpec flags boxing in `var x I = concrete` declarations.
+func scanHotValueSpec(pass *SuitePass, info *types.Info, vs *ast.ValueSpec, where string) {
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		lt := info.TypeOf(name)
+		if lt != nil && types.IsInterface(lt) && boxes(info, vs.Values[i], lt) {
+			pass.Reportf(vs.Values[i].Pos(), "interface boxing in hot path%s: concrete value assigned to %s allocates", where, lt.String())
+		}
+	}
+}
+
+// scanHotReturn flags boxing at return statements against the enclosing
+// function's result types.
+func scanHotReturn(pass *SuitePass, info *types.Info, ret *ast.ReturnStmt, sig *types.Signature, where string) {
+	if len(ret.Results) != sig.Results().Len() {
+		return // bare return or multi-value forward
+	}
+	for i, r := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		if types.IsInterface(rt) && boxes(info, r, rt) {
+			pass.Reportf(r.Pos(), "interface boxing in hot path%s: concrete value returned as %s allocates", where, rt.String())
+		}
+	}
+}
+
+// boxes reports whether assigning expr to target converts a concrete
+// value to an interface. Interface-to-interface assignments and nil do
+// not allocate; predeclared error sentinels do not box at the use site.
+func boxes(info *types.Info, expr ast.Expr, target types.Type) bool {
+	if target == nil || !types.IsInterface(target) {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// isStringByteConv recognizes string <-> []byte (and []rune) copies.
+func isStringByteConv(from, to types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(from) && isByteSlice(to)) || (isByteSlice(from) && isStr(to))
+}
+
+// allocatingStdlib returns a reason string for stdlib calls that always
+// (or almost always) allocate, "" otherwise.
+func allocatingStdlib(fn *types.Func) string {
+	pkg := fn.Pkg().Path()
+	name := fn.Name()
+	switch pkg {
+	case "fmt":
+		return "fmt formats through interfaces and allocates"
+	case "errors":
+		if name == "New" {
+			return "allocates a new error value"
+		}
+	case "strings":
+		switch name {
+		case "Join", "Repeat", "Replace", "ReplaceAll", "Split", "Fields", "ToUpper", "ToLower", "Clone":
+			return "builds a new string on every call"
+		}
+	case "bytes":
+		switch name {
+		case "Join", "Repeat", "Clone", "Split", "Fields":
+			return "builds a new slice on every call"
+		}
+	case "strconv":
+		switch name {
+		case "FormatInt", "FormatUint", "FormatFloat", "FormatBool", "Itoa", "Quote", "QuoteToASCII":
+			return "formats into a new string on every call"
+		}
+	}
+	return ""
+}

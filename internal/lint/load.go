@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The loader builds fully type-checked packages using only the standard
@@ -49,6 +50,7 @@ type Loader struct {
 	// Fset is shared by every package this loader produces.
 	Fset *token.FileSet
 
+	impMu   sync.Mutex        // serializes the gc importer's internal cache
 	exports map[string]string // import path -> export data file
 	gc      types.Importer
 }
@@ -154,11 +156,16 @@ func (l *Loader) lookup(path string) (io.ReadCloser, error) {
 	return os.Open(file)
 }
 
-// Import satisfies types.Importer over the export-data lookup.
+// Import satisfies types.Importer over the export-data lookup. Package
+// type-checks run concurrently (LoadPatterns), so the gc importer's
+// internal package cache is serialized here; the FileSet and parser are
+// safe for concurrent use on their own.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
+	l.impMu.Lock()
+	defer l.impMu.Unlock()
 	return l.gc.Import(path)
 }
 
@@ -183,17 +190,38 @@ func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 	sort.Slice(match, func(i, j int) bool { return match[i].ImportPath < match[j].ImportPath })
-	var pkgs []*Package
-	for _, m := range match {
-		var files []string
-		for _, f := range m.GoFiles {
-			files = append(files, filepath.Join(m.Dir, f))
-		}
-		pkg, err := l.load(m.ImportPath, m.Dir, files)
+	// Module packages type-check independently of each other — imports
+	// come from export data, never from sibling loads — so the loads fan
+	// out over a bounded worker pool. Results land in index slots, keeping
+	// the returned order deterministic regardless of scheduling.
+	pkgs := make([]*Package, len(match))
+	errs := make([]error, len(match))
+	workers := analysisWorkers(len(match))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				m := match[i]
+				var files []string
+				for _, f := range m.GoFiles {
+					files = append(files, filepath.Join(m.Dir, f))
+				}
+				pkgs[i], errs[i] = l.load(m.ImportPath, m.Dir, files)
+			}
+		}()
+	}
+	for i := range match {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }

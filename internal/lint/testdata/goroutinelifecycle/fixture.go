@@ -1,0 +1,101 @@
+// Package gltest seeds goroutinelifecycle violations: fire-and-forget
+// goroutines (inline and through a named function), a Done without a
+// paired Add, and — as negatives — every accepted lifecycle shape.
+package gltest
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func work(counter *int) { *counter = *counter + 1 }
+
+// leak is the classic fire-and-forget: nothing joins or cancels it.
+func (s *server) leak(counter *int) {
+	go func() { // want goroutinelifecycle "fire-and-forget goroutine"
+		for {
+			work(counter)
+		}
+	}()
+}
+
+// spin is a named spawned body with no lifecycle signal; the analyzer
+// must resolve it through the call graph.
+func spin(counter *int) {
+	for {
+		work(counter)
+	}
+}
+
+func (s *server) leakNamed(counter *int) {
+	go spin(counter) // want goroutinelifecycle "fire-and-forget goroutine"
+}
+
+// unpaired has a Done in the body but no Add in the spawner.
+func (s *server) unpaired(counter *int) {
+	go func() { // want goroutinelifecycle "never calls Add"
+		defer s.wg.Done()
+		work(counter)
+	}()
+}
+
+// joined is the accepted WaitGroup shape.
+func (s *server) joined(counter *int) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work(counter)
+	}()
+	s.wg.Wait()
+}
+
+// cancellable selects on a done channel.
+func (s *server) cancellable(counter *int) {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			default:
+				work(counter)
+			}
+		}
+	}()
+}
+
+// ctxWorker consults a plumbed-in context; the analyzer finds the use
+// inside the named body.
+func ctxWorker(ctx context.Context, counter *int) {
+	for ctx.Err() == nil {
+		work(counter)
+	}
+}
+
+func (s *server) cancellableCtx(ctx context.Context, counter *int) {
+	go ctxWorker(ctx, counter)
+}
+
+// signalled closes a channel on completion, so a waiter can observe it.
+func (s *server) signalled(counter *int) chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		work(counter)
+		close(ch)
+	}()
+	return ch
+}
+
+// suppressed carries a reasoned allow directive.
+func (s *server) suppressed(counter *int) {
+	//jrsnd:allow goroutinelifecycle fixture exercises the suppression path
+	go func() {
+		for {
+			work(counter)
+		}
+	}()
+}

@@ -1,0 +1,66 @@
+// Package lotest seeds lockorder violations: the canonical AB/BA
+// ordering cycle and a reentrant double-lock reached through a callee.
+package lotest
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// ab acquires a then b — together with ba below this is the AB/BA cycle.
+// The finding anchors at the earliest witness acquisition, which is the
+// b-acquisition here.
+func (p *pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want lockorder "lock-order cycle"
+	defer p.b.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+
+type rentr struct {
+	mu sync.Mutex
+}
+
+// outer holds mu across a call to inner, which locks mu again: a
+// guaranteed self-deadlock on Go's non-reentrant mutexes. The witness is
+// the call site, reached through the callee's transitive lock summary.
+func (r *rentr) outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inner() // want lockorder "reentrant double-lock"
+}
+
+func (r *rentr) inner() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+// ordered is the negative: both functions take c before d, so the graph
+// stays acyclic.
+type ordered struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (o *ordered) first() {
+	o.c.Lock()
+	defer o.c.Unlock()
+	o.d.Lock()
+	defer o.d.Unlock()
+}
+
+func (o *ordered) second() {
+	o.c.Lock()
+	o.d.Lock()
+	o.d.Unlock()
+	o.c.Unlock()
+}

@@ -1,0 +1,25 @@
+package lotest
+
+import "sync"
+
+// waived is a second AB/BA cycle whose finding is suppressed with a
+// reasoned directive at its anchor (the earliest witness acquisition).
+type waived struct {
+	e sync.Mutex
+	f sync.Mutex
+}
+
+func (w *waived) ef() {
+	w.e.Lock()
+	defer w.e.Unlock()
+	//jrsnd:allow lockorder fixture exercises the suppression path
+	w.f.Lock()
+	defer w.f.Unlock()
+}
+
+func (w *waived) fe() {
+	w.f.Lock()
+	defer w.f.Unlock()
+	w.e.Lock()
+	defer w.e.Unlock()
+}
